@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test race bench cover fuzz experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzzing pass over every parser (seeds always run under `test`).
+fuzz:
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=30s ./internal/pytoken
+	$(GO) test -fuzz=FuzzParseModule -fuzztime=30s ./internal/pyparse
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/regex
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ltlf
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/ir
+
+# Regenerate every paper artifact (tables, figures, theorems).
+experiments:
+	$(GO) test -run 'TestPaper' -v .
+
+clean:
+	$(GO) clean ./...

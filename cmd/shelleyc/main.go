@@ -1,0 +1,130 @@
+// Command shelleyc verifies Shelley-annotated MicroPython files: it
+// runs the full pipeline (model extraction, invocation analysis,
+// subsystem-usage verification, temporal claims) on every class and
+// prints the paper-formatted error messages.
+//
+// Usage:
+//
+//	shelleyc [-class NAME] [-quiet] FILE.py [FILE.py ...]
+//
+// The exit status is 0 when every checked class verifies, 1 when any
+// diagnostic is reported, and 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/internal/check"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shelleyc:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("shelleyc", flag.ContinueOnError)
+	className := fs.String("class", "", "verify only this class")
+	quiet := fs.Bool("quiet", false, "suppress OK lines")
+	emitNuSMV := fs.Bool("nusmv", false, "print each class's NuSMV model instead of verifying")
+	jsonOut := fs.Bool("json", false, "print machine-readable JSON reports")
+	precise := fs.Bool("precise", false, "use exit-aware flattening (tighter than the paper's union model)")
+	violations := fs.Int("violations", 0, "additionally list up to N invalid usages per subsystem")
+	explain := fs.Bool("explain", false, "print a step-by-step explanation for failed claims")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() == 0 {
+		return 2, fmt.Errorf("no input files (usage: shelleyc [-class NAME] FILE.py ...)")
+	}
+
+	mod, err := shelley.LoadFiles(fs.Args()...)
+	if err != nil {
+		return 2, err
+	}
+
+	classes := mod.Classes()
+	if *className != "" {
+		c, ok := mod.Class(*className)
+		if !ok {
+			return 2, fmt.Errorf("class %q not found", *className)
+		}
+		classes = []*shelley.Class{c}
+	}
+
+	if *emitNuSMV {
+		for _, c := range classes {
+			text, err := c.ExportNuSMV()
+			if err != nil {
+				return 2, err
+			}
+			fmt.Fprint(out, text)
+		}
+		return 0, nil
+	}
+
+	var checkOpts []check.Option
+	if *precise {
+		checkOpts = append(checkOpts, check.Precise())
+	}
+
+	failed := false
+	var reports []*shelley.Report
+	for _, c := range classes {
+		report, err := c.Check(checkOpts...)
+		if err != nil {
+			return 2, err
+		}
+		reports = append(reports, report)
+		if !report.OK() {
+			failed = true
+		}
+		if *jsonOut {
+			continue
+		}
+		if report.OK() {
+			if !*quiet {
+				fmt.Fprintf(out, "class %s: OK\n", c.Name())
+			}
+			continue
+		}
+		fmt.Fprintf(out, "class %s:\n%s\n", c.Name(), report)
+		if *explain {
+			for _, d := range report.Diagnostics {
+				if d.Explanation != "" {
+					fmt.Fprintf(out, "\n%s", d.Explanation)
+				}
+			}
+		}
+		if *violations > 0 {
+			vs, err := c.UsageViolations(*violations, checkOpts...)
+			if err != nil {
+				return 2, err
+			}
+			for _, v := range vs {
+				fmt.Fprintf(out, "invalid usage (subsystem %s): %s\n", v.Subsystem, strings.Join(v.Trace, ", "))
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return 2, err
+		}
+	}
+	if failed {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func paperFiles() []string {
+	base := filepath.Join("..", "..", "testdata")
+	return []string{
+		filepath.Join(base, "valve.py"),
+		filepath.Join(base, "badsector.py"),
+	}
+}
+
+func TestRunReportsPaperErrors(t *testing.T) {
+	var out strings.Builder
+	code, err := run(paperFiles(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"class Valve: OK",
+		"Error in specification: INVALID SUBSYSTEM USAGE",
+		"Counter example: open_a, a.test, a.open",
+		"  * Valve 'a': test, >open< (not final)",
+		"Error in specification: FAIL TO MEET REQUIREMENT",
+		"Formula: (!a.open) W b.open",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunSingleClassAndQuiet(t *testing.T) {
+	var out strings.Builder
+	code, err := run(append([]string{"-class", "Valve", "-quiet"}, paperFiles()...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if out.String() != "" {
+		t.Errorf("quiet run should print nothing, got %q", out.String())
+	}
+}
+
+func TestRunNuSMVExport(t *testing.T) {
+	var out strings.Builder
+	code, err := run(append([]string{"-class", "BadSector", "-nusmv"}, paperFiles()...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+	for _, want := range []string{"MODULE main", "LTLSPEC", "e_a_open"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("NuSMV export missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(nil, &out); err == nil {
+		t.Error("no files should be an error")
+	}
+	if _, err := run([]string{"missing.py"}, &out); err == nil {
+		t.Error("missing file should be an error")
+	}
+	if _, err := run(append([]string{"-class", "Nope"}, paperFiles()...), &out); err == nil {
+		t.Error("unknown class should be an error")
+	}
+	if _, err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag should be an error")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out strings.Builder
+	code, err := run(append([]string{"-json"}, paperFiles()...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	var reports []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0]["class"] != "Valve" || reports[0]["ok"] != true {
+		t.Errorf("report 0 = %v", reports[0])
+	}
+	if reports[1]["class"] != "BadSector" || reports[1]["ok"] != false {
+		t.Errorf("report 1 = %v", reports[1])
+	}
+	diags := reports[1]["diagnostics"].([]any)
+	first := diags[0].(map[string]any)
+	if first["kind"] != "INVALID SUBSYSTEM USAGE" {
+		t.Errorf("kind = %v", first["kind"])
+	}
+}
+
+func TestRunPreciseFlag(t *testing.T) {
+	var out strings.Builder
+	code, err := run(append([]string{"-precise"}, paperFiles()...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BadSector's violations are real, so precise mode still fails.
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "INVALID SUBSYSTEM USAGE") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunViolationsFlag(t *testing.T) {
+	var out strings.Builder
+	code, err := run(append([]string{"-violations", "3"}, paperFiles()...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "invalid usage (subsystem a): a.test, a.open") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunExplainFlag(t *testing.T) {
+	var out strings.Builder
+	code, err := run(append([]string{"-explain"}, paperFiles()...), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	for _, want := range []string{"claim: !a.open W b.open", "VIOLATED"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explanation missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func valvePath() string { return filepath.Join("..", "..", "testdata", "valve.py") }
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "v.py")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffUnchanged(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-class", "Valve", "-old", valvePath(), "-new", valvePath()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "UNCHANGED") {
+		t.Errorf("code=%d out=%q", code, out.String())
+	}
+}
+
+func TestDiffProtocolChange(t *testing.T) {
+	b, err := os.ReadFile(valvePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New version: open becomes final (a valve may now be left open!).
+	mutated := strings.Replace(string(b), "@op\n    def open", "@op_final\n    def open", 1)
+	newPath := writeTemp(t, mutated)
+
+	var out strings.Builder
+	code, err := run([]string{"-class", "Valve", "-old", valvePath(), "-new", newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("code = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "CHANGED") ||
+		!strings.Contains(out.String(), "newly allowed:     test, open") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// Nothing was removed by this change.
+	if strings.Contains(out.String(), "no longer allowed") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDiffRemovedBehavior(t *testing.T) {
+	b, err := os.ReadFile(valvePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New version: clean can no longer restart the cycle.
+	mutated := strings.Replace(string(b), `self.clean.on()
+        return ["test"]`, `self.clean.on()
+        return []`, 1)
+	newPath := writeTemp(t, mutated)
+
+	var out strings.Builder
+	code, err := run([]string{"-class", "Valve", "-old", valvePath(), "-new", newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "no longer allowed: test, clean, test") {
+		t.Errorf("code=%d output:\n%s", code, out.String())
+	}
+}
+
+func TestDiffFlatMode(t *testing.T) {
+	base := filepath.Join("..", "..", "testdata")
+	oldFiles := base + "/valve.py," + base + "/goodsector.py"
+	var out strings.Builder
+	code, err := run([]string{"-class", "GoodSector", "-flat", "-old", oldFiles, "-new", oldFiles}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out.String(), "flattened behavior UNCHANGED") {
+		t.Errorf("code=%d output:\n%s", code, out.String())
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{},
+		{"-class", "Valve", "-old", valvePath()}, // missing new
+		{"-class", "Nope", "-old", valvePath(), "-new", valvePath()}, // unknown class
+		{"-class", "Valve", "-old", "missing.py", "-new", valvePath()},
+	}
+	for _, args := range cases {
+		if _, err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

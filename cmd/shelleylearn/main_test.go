@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLearnsValve(t *testing.T) {
+	var out strings.Builder
+	valve := filepath.Join("..", "..", "testdata", "valve.py")
+	if err := run([]string{"-class", "Valve", "-dot", valve}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"learned 3-state automaton",
+		"membership queries:",
+		"cross-check: learned model EQUALS the statically extracted model",
+		"digraph \"Valve_learned\"",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	valve := filepath.Join("..", "..", "testdata", "valve.py")
+	cases := [][]string{
+		{},                             // no files
+		{valve},                        // missing -class
+		{"-class", "Nope", valve},      // unknown class
+		{"-class", "Valve", "nope.py"}, // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunKVAlgo(t *testing.T) {
+	var out strings.Builder
+	valve := filepath.Join("..", "..", "testdata", "valve.py")
+	if err := run([]string{"-class", "Valve", "-algo", "kv", valve}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "EQUALS the statically extracted model") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if err := run([]string{"-class", "Valve", "-algo", "zzz", valve}, &out); err == nil {
+		t.Error("unknown algo should error")
+	}
+}
+
+func TestRunConformFlag(t *testing.T) {
+	var out strings.Builder
+	valve := filepath.Join("..", "..", "testdata", "valve.py")
+	if err := run([]string{"-class", "Valve", "-conform", valve}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conformance suite:", "PASSES the W-method suite"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

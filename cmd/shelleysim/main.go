@@ -1,0 +1,125 @@
+// Command shelleysim executes a composite class in the runtime
+// simulator: it reads a plan (one composite operation per line, `#`
+// comments allowed), drives the system, and reports the flattened
+// subsystem trace, protocol violations, and dangling subsystems — the
+// runtime view of what shelleyc verifies statically.
+//
+// Usage:
+//
+//	shelleysim -class NAME [-plan FILE | -ops op1,op2,...] [-seed N] FILE.py [FILE.py ...]
+//
+// Exit status: 0 on a clean run, 1 when the plan violates a protocol or
+// leaves subsystems dangling, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/internal/interp"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shelleysim:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("shelleysim", flag.ContinueOnError)
+	className := fs.String("class", "", "composite class to simulate (required)")
+	planFile := fs.String("plan", "", "file with one operation per line")
+	opsFlag := fs.String("ops", "", "comma-separated operations (alternative to -plan)")
+	seed := fs.Int64("seed", 1, "seed for resolving branch/exit choices")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() == 0 {
+		return 2, fmt.Errorf("no input files (usage: shelleysim -class NAME -ops op1,op2 FILE.py ...)")
+	}
+	if *className == "" {
+		return 2, fmt.Errorf("-class is required")
+	}
+
+	plan, err := loadPlan(*planFile, *opsFlag)
+	if err != nil {
+		return 2, err
+	}
+	if len(plan) == 0 {
+		return 2, fmt.Errorf("empty plan: provide -plan or -ops")
+	}
+
+	mod, err := shelley.LoadFiles(fs.Args()...)
+	if err != nil {
+		return 2, err
+	}
+	c, ok := mod.Class(*className)
+	if !ok {
+		return 2, fmt.Errorf("class %q not found (available: %v)", *className, mod.Names())
+	}
+	sys, err := c.NewSystem(interp.WithChooser(interp.NewRandomChoice(*seed)))
+	if err != nil {
+		return 2, err
+	}
+
+	failed := false
+	for i, op := range plan {
+		if err := sys.Invoke(op); err != nil {
+			fmt.Fprintf(out, "step %d: %s FAILED: %v\n", i+1, op, err)
+			failed = true
+			break
+		}
+		fmt.Fprintf(out, "step %d: %s ok (allowed next: %s)\n",
+			i+1, op, strings.Join(sys.Allowed(), ", "))
+	}
+	fmt.Fprintf(out, "flat trace: %s\n", strings.Join(sys.Trace(), ", "))
+	if dangling := sys.DanglingSubsystems(); len(dangling) > 0 {
+		fmt.Fprintf(out, "DANGLING SUBSYSTEMS: %s (left in a non-final state)\n",
+			strings.Join(dangling, ", "))
+		failed = true
+	} else if !failed {
+		fmt.Fprintln(out, "system stoppable: all subsystems in final states")
+	}
+	if failed {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func loadPlan(planFile, opsFlag string) ([]string, error) {
+	if planFile != "" && opsFlag != "" {
+		return nil, fmt.Errorf("-plan and -ops are mutually exclusive")
+	}
+	if opsFlag != "" {
+		var out []string
+		for _, op := range strings.Split(opsFlag, ",") {
+			if trimmed := strings.TrimSpace(op); trimmed != "" {
+				out = append(out, trimmed)
+			}
+		}
+		return out, nil
+	}
+	if planFile == "" {
+		return nil, nil
+	}
+	b, err := os.ReadFile(planFile)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperProgram = "loop(*) { a(); if(*) { b(); return } else { c() } }"
+
+func TestRunInference(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-program", paperProgram}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"[[p]] ongoing  = (a . (b . 0 + c))*",
+		"[[p]] returned[0] = (a . (b . 0 + c))* . a . b",
+		"infer(p) = (a . (b . 0 + c))* + (a . (b . 0 + c))* . a . b",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMembership(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-program", paperProgram, "-member", "a,c,a,b", "-simplify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"0 |- [a c a b] in p: false",
+		"R |- [a c a b] in p: true",
+		"in infer(p): true",
+		"simplified = ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunEnumerate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-program", "a(); return", "-enumerate", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "R |- [a]") {
+		t.Errorf("enumeration missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -program should error")
+	}
+	if err := run([]string{"-program", "(("}, &out); err == nil {
+		t.Error("bad program should error")
+	}
+}
+
+func TestSplitTrace(t *testing.T) {
+	got := splitTrace(" a , b ,, c ")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitTrace = %v", got)
+	}
+	if splitTrace("") != nil {
+		t.Error("empty input should be nil")
+	}
+}

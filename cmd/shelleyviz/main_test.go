@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func valvePath() string {
+	return filepath.Join("..", "..", "testdata", "valve.py")
+}
+
+func TestRunProtocol(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-class", "Valve", valvePath()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"test" -> "open";`) {
+		t.Errorf("protocol DOT missing edge:\n%s", out.String())
+	}
+}
+
+func TestRunDeps(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-class", "Valve", "-kind", "deps", valvePath()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shape=box") {
+		t.Errorf("deps DOT missing boxes:\n%s", out.String())
+	}
+}
+
+func TestRunSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-class", "Valve", "-kind", "spec", valvePath()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "doublecircle") {
+		t.Errorf("spec DOT missing accepting states:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{},                              // no files
+		{valvePath()},                   // missing -class
+		{"-class", "Nope", valvePath()}, // unknown class
+		{"-class", "Valve", "-kind", "x", valvePath()}, // bad kind
+		{"-class", "Valve", "missing.py"},              // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunFlat(t *testing.T) {
+	var out strings.Builder
+	files := []string{
+		filepath.Join("..", "..", "testdata", "valve.py"),
+		filepath.Join("..", "..", "testdata", "badsector.py"),
+	}
+	args := append([]string{"-class", "BadSector", "-kind", "flat"}, files...)
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BadSector_flat", "a.test", "doublecircle"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("flat DOT missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package shelley
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// CheckAllConcurrent verifies every class of the module in parallel,
+// using up to workers goroutines (0 means GOMAXPROCS). The analyses are
+// independent — every class reads the shared registry but mutates
+// nothing — so this is a pure fan-out; results come back in source
+// order regardless of completion order, and the first analysis error
+// (not verification finding) is returned after all workers finish.
+func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(m.classes) {
+		workers = len(m.classes)
+	}
+	if workers <= 1 {
+		return m.CheckAll()
+	}
+
+	reports := make([]*Report, len(m.classes))
+	errs := make([]error, len(m.classes))
+	jobs := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i], errs[i] = m.classes[i].Check()
+			}
+		}()
+	}
+	for i := range m.classes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shelley: checking %s: %w", m.classes[i].Name(), err)
+		}
+	}
+	return reports, nil
+}

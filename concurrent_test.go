@@ -1,0 +1,55 @@
+package shelley
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckAllConcurrentMatchesSequential(t *testing.T) {
+	m := loadPaper(t)
+	seq, err := m.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		par, err := m.CheckAllConcurrent(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i].Class != seq[i].Class {
+				t.Errorf("workers=%d: report %d is %s, want %s (order must be source order)",
+					workers, i, par[i].Class, seq[i].Class)
+			}
+			if par[i].String() != seq[i].String() {
+				t.Errorf("workers=%d: report for %s differs:\n%s\nvs\n%s",
+					workers, par[i].Class, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestCheckAllConcurrentPropagatesErrors(t *testing.T) {
+	// A composite whose subsystem class is missing from the module.
+	m, err := LoadFile(filepath.Join("testdata", "badsector.py")) // no Valve
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CheckAllConcurrent(4); err == nil {
+		t.Error("expected a resolution error")
+	}
+}
+
+func TestCheckAllConcurrentRace(t *testing.T) {
+	// Many repetitions to give the race detector something to chew on
+	// (run with -race in CI).
+	m := loadPaper(t)
+	for i := 0; i < 20; i++ {
+		if _, err := m.CheckAllConcurrent(8); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package shelley is a Go implementation of the Shelley model-inference
+// and model-checking pipeline for MicroPython classes, reproducing the
+// system formalized in "Formalizing Model Inference of MicroPython"
+// (Mão de Ferro, Cogumbreiro, Martins — DSN-W 2023).
+//
+// Shelley verifies the *order of method calls* on objects that drive
+// physical resources. Classes are annotated in MicroPython source:
+//
+//	@sys                    — verify this class
+//	@sys(["a", "b"])        — composite class with subsystem fields a, b
+//	@claim("(!a.open) W b.open") — an LTLf temporal requirement
+//	@op_initial / @op / @op_final / @op_initial_final — method roles
+//
+// and each annotated method returns the set of methods allowed next
+// (`return ["close"]`). From this, the pipeline:
+//
+//  1. extracts the method dependency graph (§3.1 of the paper),
+//  2. infers each method's behavior as a regular expression over
+//     subsystem operations (§3.2 — the paper's main contribution, with
+//     its soundness/completeness theorems reproduced as executable
+//     property tests in internal/core),
+//  3. checks that composites use every subsystem according to the
+//     subsystem's own protocol and that every @claim holds, reporting
+//     shortest counterexamples in the paper's output format.
+//
+// The package also includes an executable simulator of annotated
+// classes (internal/interp) and an L* active learner (internal/learn)
+// that re-infers the same models by querying running instances.
+//
+// # Quick start
+//
+//	mod, err := shelley.LoadFile("valve.py")
+//	if err != nil { ... }
+//	valve, _ := mod.Class("Valve")
+//	report, err := valve.Check()
+//	if err != nil { ... }
+//	if !report.OK() {
+//		fmt.Println(report)
+//	}
+//	fmt.Print(valve.ProtocolDiagram()) // Graphviz DOT, Fig. 1 style
+package shelley

@@ -1,0 +1,167 @@
+package shelley_test
+
+import (
+	"fmt"
+	"log"
+
+	shelley "github.com/shelley-go/shelley"
+)
+
+// The paper's Valve class (Listing 2.1), used by the examples below.
+const valveSource = `
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+`
+
+func ExampleLoadSource() {
+	mod, err := shelley.LoadSource(valveSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valve, _ := mod.Class("Valve")
+	fmt.Println(valve.Name(), valve.Operations())
+	// Output: Valve [test open close clean]
+}
+
+func ExampleClass_Check() {
+	mod, err := shelley.LoadSource(valveSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valve, _ := mod.Class("Valve")
+	report, err := valve.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+	// Output: class Valve: OK
+}
+
+func ExampleClass_Check_composite() {
+	source := valveSource + `
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+`
+	mod, err := shelley.LoadSource(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, _ := mod.Class("BadSector")
+	report, err := bad.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Diagnostics[0].Message)
+	// Output:
+	// Error in specification: INVALID SUBSYSTEM USAGE
+	// Counter example: open_a, a.test, a.open
+	// Subsystems errors:
+	//   * Valve 'a': test, >open< (not final)
+}
+
+func ExampleClass_NewInstance() {
+	mod, err := shelley.LoadSource(valveSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valve, _ := mod.Class("Valve")
+	inst := valve.NewInstance()
+	next, err := inst.Call("test")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after test, call one of:", next)
+	_, err = inst.Call("clean") // the device chose the open exit
+	fmt.Println("calling clean instead:", err != nil)
+	// Output:
+	// after test, call one of: [open]
+	// calling clean instead: true
+}
+
+func ExampleClass_Behavior() {
+	source := valveSource + `
+
+@sys(["v"])
+class Cycle:
+    def __init__(self):
+        self.v = Valve()
+
+    @op_initial_final
+    def run(self):
+        self.v.test()
+        self.v.open()
+        self.v.close()
+        return []
+`
+	mod, err := shelley.LoadSource(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycle, _ := mod.Class("Cycle")
+	behavior, err := cycle.BehaviorSimplified("run")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(behavior)
+	// Output: v.test . v.open . v.close
+}
+
+func ExampleClass_Learn() {
+	mod, err := shelley.LoadSource(valveSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valve, _ := mod.Class("Valve")
+	res, err := valve.Learn()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned a %d-state automaton\n", res.DFA.NumStates())
+	// Output: learned a 3-state automaton
+}

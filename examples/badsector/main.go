@@ -1,0 +1,145 @@
+// Badsector walks through the paper's §2.2 case study end to end: the
+// BadSector class uses two valves incorrectly; the static checker finds
+// both errors (invalid subsystem usage and a violated temporal claim)
+// with the exact messages of the paper, and the counterexamples are then
+// replayed in the runtime simulator to show that they are real
+// violations, not analysis artifacts.
+//
+// Run with:
+//
+//	go run ./examples/badsector
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/internal/interp"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pyparse"
+)
+
+const source = `
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+`
+
+func main() {
+	mod, err := shelley.LoadSource(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, _ := mod.Class("BadSector")
+
+	// Static verification: both paper errors.
+	fmt.Println("== static verification ==")
+	report, err := bad.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+
+	// Replay the usage counterexample in the simulator: valve 'a' really
+	// is left open.
+	fmt.Println("\n== replaying the counterexamples at runtime ==")
+	classes := modelRegistry(source)
+	for _, d := range report.Diagnostics {
+		if len(d.Counterexample) == 0 {
+			continue
+		}
+		err := interp.ReplayFlat(classes["BadSector"], classes, d.Counterexample)
+		fmt.Printf("%-28s replay(%v): %v\n", d.Kind, d.Counterexample, err)
+	}
+
+	// The same failure observed by simply *using* the system the way the
+	// protocol allows.
+	fmt.Println("\n== driving the system interactively ==")
+	sys, err := bad.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Invoke("open_a"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after open_a, flat trace: %v\n", sys.Trace())
+	fmt.Printf("open_a is final, so the user may stop... dangling subsystems: %v\n",
+		sys.DanglingSubsystems())
+}
+
+// modelRegistry re-parses the source into model classes for the
+// low-level replay API (the facade's Check path builds its own).
+func modelRegistry(src string) map[string]*model.Class {
+	ast, err := pyparse.ParseModule(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make(map[string]*model.Class, len(ast.Classes))
+	for _, cls := range ast.Classes {
+		mc, err := model.FromAST(cls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out[mc.Name] = mc
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Device runs the paper's Valve class *concretely*: method bodies
+// execute against an emulated GPIO board, the status-pin level decides
+// which exit `test` takes, and the physical consequence of the §2.2
+// protocol bug — a control pin left high, i.e. a real valve left open —
+// is observable on the board.
+//
+// Run with:
+//
+//	go run ./examples/device
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shelley "github.com/shelley-go/shelley"
+)
+
+const valveSource = `
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+`
+
+func main() {
+	mod, err := shelley.LoadSource(valveSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valve, _ := mod.Class("Valve")
+
+	// Scenario 1: the sensor reads "openable"; the device takes the
+	// open path and the control pin follows the protocol.
+	fmt.Println("== scenario 1: healthy cycle (status pin high) ==")
+	board := shelley.NewBoard()
+	dev, err := valve.NewDevice(board)
+	if err != nil {
+		log.Fatal(err)
+	}
+	board.SetInput(29, true)
+	for _, op := range []string{"test", "open", "close"} {
+		next, _, err := dev.Call(op)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("call %-6s -> device returned %v; high pins now %v\n",
+			op, next, board.HighPins())
+	}
+	fmt.Printf("may power down: %v\n\n", dev.CanStop())
+
+	// Scenario 2: the sensor reads "needs cleaning"; the device itself
+	// forces the clean path — the caller cannot open.
+	fmt.Println("== scenario 2: dirty valve (status pin low) ==")
+	board2 := shelley.NewBoard()
+	dev2, err := valve.NewDevice(board2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	board2.SetInput(29, false)
+	next, _, err := dev2.Call("test")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test returned %v\n", next)
+	if _, _, err := dev2.Call("open"); err != nil {
+		fmt.Printf("open rejected by the device protocol: %v\n", err)
+	}
+	if _, _, err := dev2.Call("clean"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after clean, high pins: %v\n\n", board2.HighPins())
+
+	// Scenario 3: the BadSector bug, physically. A buggy caller stops
+	// after open (the §2.2 counterexample "a.test, a.open"): the control
+	// pin stays high — the irrigation valve is left open in the field.
+	fmt.Println("== scenario 3: the paper's bug, physically ==")
+	board3 := shelley.NewBoard()
+	dev3, err := valve.NewDevice(board3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	board3.SetInput(29, true)
+	if _, _, err := dev3.Call("test"); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := dev3.Call("open"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("caller walks away after open; may power down: %v\n", dev3.CanStop())
+	fmt.Printf("control pin 27 still high: %v  <- water keeps flowing\n",
+		contains(board3.HighPins(), 27))
+	fmt.Println("(this is exactly what `shelleyc` rejects statically: >open< (not final))")
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

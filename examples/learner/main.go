@@ -1,0 +1,126 @@
+// Learner demonstrates dynamic model inference: Angluin's L* queries a
+// simulated instance of each class (the stand-in for driving MicroPython
+// on a device) and reconstructs the protocol automaton, which is then
+// cross-checked against the statically extracted model. The query-count
+// table compares the classic and Rivest–Schapire counterexample
+// strategies.
+//
+// Run with:
+//
+//	go run ./examples/learner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/learn"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pyparse"
+)
+
+const source = `
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+
+
+@sys
+class Lock:
+    @op_initial
+    def acquire(self):
+        return ["release", "refresh"]
+
+    @op
+    def refresh(self):
+        return ["release", "refresh"]
+
+    @op_final
+    def release(self):
+        return ["acquire"]
+
+
+@sys
+class Radio:
+    @op_initial
+    def wake(self):
+        return ["send", "sleep"]
+
+    @op
+    def send(self):
+        return ["send", "sleep"]
+
+    @op_final
+    def sleep(self):
+        return ["wake"]
+`
+
+func main() {
+	ast, err := pyparse.ParseModule(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-6s %-16s %-16s %-16s %-10s\n",
+		"class", "states", "classic queries", "rs queries", "kv queries", "agrees")
+	for _, cls := range ast.Classes {
+		mc, err := model.FromAST(cls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := mc.SpecDFA("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		depth := 2*len(mc.Operations) + 1
+
+		classic, err := learn.LStar(
+			learn.NewInstanceTeacher(mc, depth),
+			learn.Config{Strategy: learn.ClassicAngluin})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := learn.LStar(
+			learn.NewInstanceTeacher(mc, depth),
+			learn.Config{Strategy: learn.RivestSchapire})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kv, err := learn.KearnsVazirani(learn.NewInstanceTeacher(mc, depth), learn.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		agrees := automata.Equivalent(rs.DFA, spec) &&
+			automata.Equivalent(classic.DFA, spec) &&
+			automata.Equivalent(kv.DFA, spec)
+		fmt.Printf("%-8s %-6d %-16s %-16s %-16s %-10v\n",
+			mc.Name,
+			rs.DFA.NumStates(),
+			fmt.Sprintf("%dm/%de", classic.MembershipQueries, classic.EquivalenceQueries),
+			fmt.Sprintf("%dm/%de", rs.MembershipQueries, rs.EquivalenceQueries),
+			fmt.Sprintf("%dm/%de", kv.MembershipQueries, kv.EquivalenceQueries),
+			agrees)
+	}
+
+	fmt.Println("\n(m = membership queries, e = equivalence queries;")
+	fmt.Println(" 'agrees' = learned automaton equals the statically extracted model)")
+}

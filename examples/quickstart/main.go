@@ -1,0 +1,98 @@
+// Quickstart: verify the paper's Valve class, print its inferred model,
+// and render the Fig. 1 diagram.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shelley "github.com/shelley-go/shelley"
+)
+
+// valveSource is Listing 2.1 of the paper: a water valve driven through
+// GPIO pins, annotated with its usage protocol.
+const valveSource = `
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+`
+
+func main() {
+	mod, err := shelley.LoadSource(valveSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valve, ok := mod.Class("Valve")
+	if !ok {
+		log.Fatal("Valve not found")
+	}
+
+	// 1. Verify the class.
+	report, err := valve.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== verification ==")
+	fmt.Println(report)
+
+	// 2. Inspect the protocol model.
+	fmt.Println("\n== operations ==")
+	for _, op := range valve.Operations() {
+		behavior, err := valve.BehaviorSimplified(op)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s behavior: %s\n", op, behavior)
+	}
+
+	// 3. Simulate a correct usage.
+	fmt.Println("\n== simulation ==")
+	inst := valve.NewInstance()
+	for _, op := range []string{"test", "open", "close"} {
+		next, err := inst.Call(op)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("call %-6s -> next allowed: %v\n", op, next)
+	}
+	fmt.Printf("may stop here: %v\n", inst.CanStop())
+
+	// ...and an incorrect one, caught at runtime.
+	bad := valve.NewInstance()
+	if _, err := bad.Call("open"); err != nil {
+		fmt.Printf("runtime protocol guard: %v\n", err)
+	}
+
+	// 4. Render the Fig. 1 diagram (pipe to `dot -Tsvg`).
+	fmt.Println("\n== diagram (Graphviz DOT) ==")
+	fmt.Print(valve.ProtocolDiagram())
+}

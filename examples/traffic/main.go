@@ -1,0 +1,147 @@
+// Traffic applies Shelley to a second CPS domain: a two-road traffic
+// intersection. Each TrafficLight enforces the red→green→yellow→red
+// cycle; the Intersection composite must never let both roads go at
+// once, expressed as the claim "(!ew.go) W ns.stop" — the east-west road
+// may not go until the north-south road has stopped. A buggy controller
+// variant is checked alongside to show the violation being caught.
+//
+// Run with:
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shelley "github.com/shelley-go/shelley"
+)
+
+const goodSource = `
+@sys
+class TrafficLight:
+    def __init__(self):
+        self.red = Pin(1, OUT)
+        self.green = Pin(2, OUT)
+        self.yellow = Pin(3, OUT)
+
+    @op_initial
+    def go(self):
+        self.red.off()
+        self.green.on()
+        return ["caution"]
+
+    @op
+    def caution(self):
+        self.green.off()
+        self.yellow.on()
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        self.yellow.off()
+        self.red.on()
+        return ["go"]
+
+
+@claim("(!ew.go) W ns.stop")
+@sys(["ns", "ew"])
+class Intersection:
+    def __init__(self):
+        self.ns = TrafficLight()
+        self.ew = TrafficLight()
+
+    @op_initial
+    def ns_phase(self):
+        self.ns.go()
+        self.ns.caution()
+        self.ns.stop()
+        return ["ew_phase"]
+
+    @op_final
+    def ew_phase(self):
+        self.ew.go()
+        self.ew.caution()
+        self.ew.stop()
+        return ["ns_phase"]
+`
+
+// buggySource swaps the phase bodies so east-west goes first, violating
+// the claim, and also forgets the yellow phase on north-south, breaking
+// the TrafficLight protocol.
+const buggySource = `
+@sys
+class TrafficLight:
+    @op_initial
+    def go(self):
+        return ["caution"]
+
+    @op
+    def caution(self):
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return ["go"]
+
+
+@claim("(!ew.go) W ns.stop")
+@sys(["ns", "ew"])
+class Intersection:
+    def __init__(self):
+        self.ns = TrafficLight()
+        self.ew = TrafficLight()
+
+    @op_initial
+    def ns_phase(self):
+        self.ew.go()
+        self.ew.caution()
+        self.ew.stop()
+        return ["ew_phase"]
+
+    @op_final
+    def ew_phase(self):
+        self.ns.go()
+        self.ns.stop()
+        return ["ns_phase"]
+`
+
+func main() {
+	fmt.Println("== correct intersection ==")
+	verify(goodSource)
+
+	fmt.Println("\n== buggy intersection ==")
+	verify(buggySource)
+}
+
+func verify(src string) {
+	mod, err := shelley.LoadSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := mod.CheckAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Println(r)
+	}
+
+	inter, _ := mod.Class("Intersection")
+	report, err := inter.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if report.OK() {
+		sys, err := inter.NewSystem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, op := range []string{"ns_phase", "ew_phase"} {
+			if err := sys.Invoke(op); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("simulated one full cycle; flat trace: %v\n", sys.Trace())
+	}
+}

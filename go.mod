@@ -1,0 +1,3 @@
+module github.com/shelley-go/shelley
+
+go 1.22

@@ -1,0 +1,56 @@
+package automata
+
+import (
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+var benchRegex = regex.MustParse("(a . (b + c))* . a . b . (c + a . (b + c)* . c)")
+
+func BenchmarkDeterminize(b *testing.B) {
+	n := FromRegexThompson(benchRegex)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Determinize()
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	d := FromRegexThompson(benchRegex).Determinize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Minimize()
+	}
+}
+
+func BenchmarkProduct(b *testing.B) {
+	d1 := CompileMinimal(regex.MustParse("(a + b)* . a"))
+	d2 := CompileMinimal(regex.MustParse("a . (a + b)*"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(d1, d2)
+	}
+}
+
+func BenchmarkToRegex(b *testing.B) {
+	d := CompileMinimal(benchRegex)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ToRegex()
+	}
+}
+
+func BenchmarkAcceptsDFA(b *testing.B) {
+	d := CompileMinimal(benchRegex)
+	tr := []string{"a", "b", "a", "c", "a", "b", "c"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Accepts(tr)
+	}
+}

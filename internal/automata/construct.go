@@ -1,0 +1,206 @@
+package automata
+
+import (
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+// This file builds automata from the regular expressions produced by the
+// behavior inference. Three constructions are provided:
+//
+//   - Thompson: the classic linear-size ε-NFA (one fragment per node),
+//   - Glushkov: the ε-free position automaton (n+1 states for n symbol
+//     occurrences),
+//   - Brzozowski: a DFA built directly from iterated derivatives.
+//
+// All three accept exactly L(r); the ablation benchmarks compare their
+// sizes and downstream determinization cost.
+
+// FromRegexThompson builds an ε-NFA for r using Thompson's construction.
+func FromRegexThompson(r regex.Regex) *NFA {
+	n := NewNFA(regex.Alphabet(r))
+	in, out := thompson(n, r)
+	n.AddEpsilon(n.Start(), in)
+	n.SetAccepting(out, true)
+	return n
+}
+
+// thompson returns the (entry, exit) states of the fragment for r.
+func thompson(n *NFA, r regex.Regex) (in, out int) {
+	switch r := r.(type) {
+	case regex.EmptySet:
+		// Two disconnected states: no path from in to out.
+		return n.AddState(false), n.AddState(false)
+	case regex.EmptyString:
+		s := n.AddState(false)
+		return s, s
+	case regex.Sym:
+		in, out := n.AddState(false), n.AddState(false)
+		// The symbol is in the alphabet by construction (NewNFA was
+		// seeded with Alphabet(r)); ignore the impossible error.
+		_ = n.AddTransition(in, r.Name, out)
+		return in, out
+	case regex.Cat:
+		if len(r.Parts) == 0 {
+			s := n.AddState(false)
+			return s, s
+		}
+		in, out := thompson(n, r.Parts[0])
+		for _, p := range r.Parts[1:] {
+			pin, pout := thompson(n, p)
+			n.AddEpsilon(out, pin)
+			out = pout
+		}
+		return in, out
+	case regex.Alt:
+		in, out := n.AddState(false), n.AddState(false)
+		for _, p := range r.Parts {
+			pin, pout := thompson(n, p)
+			n.AddEpsilon(in, pin)
+			n.AddEpsilon(pout, out)
+		}
+		return in, out
+	case regex.Rep:
+		in, out := n.AddState(false), n.AddState(false)
+		pin, pout := thompson(n, r.Inner)
+		n.AddEpsilon(in, pin)
+		n.AddEpsilon(pout, out)
+		n.AddEpsilon(in, out)   // zero iterations
+		n.AddEpsilon(pout, pin) // repeat
+		return in, out
+	}
+	return n.AddState(false), n.AddState(false)
+}
+
+// FromRegexGlushkov builds the ε-free position automaton for r. The
+// result has one state per symbol occurrence plus a start state.
+func FromRegexGlushkov(r regex.Regex) *NFA {
+	g := &glushkov{}
+	info := g.analyze(r)
+
+	n := NewNFA(regex.Alphabet(r))
+	states := make([]int, len(g.symbols)+1)
+	states[0] = n.Start()
+	for i := range g.symbols {
+		states[i+1] = n.AddState(false)
+	}
+	n.SetAccepting(n.Start(), info.nullable)
+	for _, p := range info.last {
+		n.SetAccepting(states[p], true)
+	}
+	for _, p := range info.first {
+		_ = n.AddTransition(n.Start(), g.symbols[p-1], states[p])
+	}
+	for from, follows := range g.follow {
+		for _, to := range follows {
+			_ = n.AddTransition(states[from], g.symbols[to-1], states[to])
+		}
+	}
+	return n
+}
+
+// glushkov accumulates linearized positions (1-based) and follow sets.
+type glushkov struct {
+	symbols []string      // position-1 -> symbol name
+	follow  map[int][]int // position -> follow positions
+}
+
+type glushkovInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func (g *glushkov) analyze(r regex.Regex) glushkovInfo {
+	if g.follow == nil {
+		g.follow = make(map[int][]int)
+	}
+	switch r := r.(type) {
+	case regex.EmptySet:
+		return glushkovInfo{}
+	case regex.EmptyString:
+		return glushkovInfo{nullable: true}
+	case regex.Sym:
+		g.symbols = append(g.symbols, r.Name)
+		p := len(g.symbols)
+		return glushkovInfo{first: []int{p}, last: []int{p}}
+	case regex.Cat:
+		out := glushkovInfo{nullable: true}
+		for _, part := range r.Parts {
+			pi := g.analyze(part)
+			// follow: every last of the prefix is followed by every
+			// first of this part.
+			for _, l := range out.last {
+				g.follow[l] = append(g.follow[l], pi.first...)
+			}
+			if out.nullable {
+				out.first = append(out.first, pi.first...)
+			}
+			if pi.nullable {
+				out.last = append(out.last, pi.last...)
+			} else {
+				out.last = pi.last
+			}
+			out.nullable = out.nullable && pi.nullable
+		}
+		return out
+	case regex.Alt:
+		var out glushkovInfo
+		for _, part := range r.Parts {
+			pi := g.analyze(part)
+			out.nullable = out.nullable || pi.nullable
+			out.first = append(out.first, pi.first...)
+			out.last = append(out.last, pi.last...)
+		}
+		return out
+	case regex.Rep:
+		pi := g.analyze(r.Inner)
+		for _, l := range pi.last {
+			g.follow[l] = append(g.follow[l], pi.first...)
+		}
+		return glushkovInfo{nullable: true, first: pi.first, last: pi.last}
+	}
+	return glushkovInfo{}
+}
+
+// FromRegexDerivatives builds a DFA for r directly: states are the
+// distinct Brzozowski derivatives of r (finitely many thanks to the
+// normal form maintained by the regex package), the start state is r
+// itself, and a state accepts iff its expression is nullable.
+func FromRegexDerivatives(r regex.Regex) *DFA {
+	alphabet := regex.Alphabet(r)
+	d := NewDFA(alphabet)
+
+	ids := map[string]int{regex.Key(r): d.Start()}
+	d.SetAccepting(d.Start(), regex.Nullable(r))
+
+	type work struct {
+		id int
+		r  regex.Regex
+	}
+	queue := []work{{id: d.Start(), r: r}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, sym := range alphabet {
+			der := regex.Derivative(cur.r, sym)
+			if regex.IsEmptyLanguage(der) {
+				continue
+			}
+			k := regex.Key(der)
+			id, ok := ids[k]
+			if !ok {
+				id = d.AddState(regex.Nullable(der))
+				ids[k] = id
+				queue = append(queue, work{id: id, r: der})
+			}
+			_ = d.AddTransition(cur.id, sym, id)
+		}
+	}
+	return d
+}
+
+// CompileMinimal is the construction the rest of the pipeline uses by
+// default: derivative DFA followed by Hopcroft minimization.
+func CompileMinimal(r regex.Regex) *DFA {
+	return FromRegexDerivatives(r).Minimize()
+}

@@ -1,0 +1,250 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DFA is a deterministic finite automaton. Missing transitions denote an
+// implicit dead (rejecting sink) state, so DFAs are partial by default;
+// Complete materializes the sink when an algorithm (e.g. complement)
+// needs totality.
+type DFA struct {
+	alphabet []string
+	symIndex map[string]int
+	trans    [][]int // state -> symbol index -> target, -1 when absent
+	accept   []bool
+	start    int
+}
+
+// NewDFA returns a DFA with a single non-accepting start state and no
+// transitions, over the given alphabet (deduplicated and sorted).
+func NewDFA(alphabet []string) *DFA {
+	d := &DFA{symIndex: make(map[string]int)}
+	seen := make(map[string]struct{}, len(alphabet))
+	for _, s := range alphabet {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		d.alphabet = append(d.alphabet, s)
+	}
+	sort.Strings(d.alphabet)
+	for i, s := range d.alphabet {
+		d.symIndex[s] = i
+	}
+	d.start = d.AddState(false)
+	return d
+}
+
+// Alphabet returns the sorted alphabet. The caller must not mutate it.
+func (d *DFA) Alphabet() []string { return d.alphabet }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Accepting reports whether state s accepts.
+func (d *DFA) Accepting(s int) bool { return d.accept[s] }
+
+// SetAccepting marks state s as accepting or not.
+func (d *DFA) SetAccepting(s int, accepting bool) { d.accept[s] = accepting }
+
+// AddState adds a fresh state with no outgoing transitions.
+func (d *DFA) AddState(accepting bool) int {
+	row := make([]int, len(d.alphabet))
+	for i := range row {
+		row[i] = -1
+	}
+	d.trans = append(d.trans, row)
+	d.accept = append(d.accept, accepting)
+	return len(d.trans) - 1
+}
+
+// AddTransition sets from --sym--> to, replacing any previous target.
+func (d *DFA) AddTransition(from int, sym string, to int) error {
+	si, ok := d.symIndex[sym]
+	if !ok {
+		return fmt.Errorf("automata: symbol %q not in alphabet %v", sym, d.alphabet)
+	}
+	d.trans[from][si] = to
+	return nil
+}
+
+func (d *DFA) setTransition(from, symIndex, to int) {
+	d.trans[from][symIndex] = to
+}
+
+// Target returns the target of from on sym, or -1 when the transition is
+// absent (dead).
+func (d *DFA) Target(from int, sym string) int {
+	si, ok := d.symIndex[sym]
+	if !ok {
+		return -1
+	}
+	return d.trans[from][si]
+}
+
+// Accepts reports whether the DFA accepts the trace.
+func (d *DFA) Accepts(trace []string) bool {
+	s := d.start
+	for _, sym := range trace {
+		si, ok := d.symIndex[sym]
+		if !ok {
+			return false
+		}
+		s = d.trans[s][si]
+		if s < 0 {
+			return false
+		}
+	}
+	return d.accept[s]
+}
+
+// Run returns the state reached after consuming the trace, or -1 if the
+// run dies. It is used by checkers that need the residual state.
+func (d *DFA) Run(trace []string) int {
+	s := d.start
+	for _, sym := range trace {
+		si, ok := d.symIndex[sym]
+		if !ok {
+			return -1
+		}
+		s = d.trans[s][si]
+		if s < 0 {
+			return -1
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the DFA.
+func (d *DFA) Clone() *DFA {
+	out := &DFA{
+		alphabet: append([]string(nil), d.alphabet...),
+		symIndex: make(map[string]int, len(d.symIndex)),
+		trans:    make([][]int, len(d.trans)),
+		accept:   append([]bool(nil), d.accept...),
+		start:    d.start,
+	}
+	for k, v := range d.symIndex {
+		out.symIndex[k] = v
+	}
+	for i, row := range d.trans {
+		out.trans[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// Complete returns an equivalent total DFA: every state has a transition
+// on every symbol, with missing edges routed to a rejecting sink. When
+// the DFA is already total it is returned unchanged.
+func (d *DFA) Complete() *DFA {
+	total := true
+	for _, row := range d.trans {
+		for _, t := range row {
+			if t < 0 {
+				total = false
+				break
+			}
+		}
+		if !total {
+			break
+		}
+	}
+	if total {
+		return d
+	}
+	out := d.Clone()
+	sink := out.AddState(false)
+	for s := range out.trans {
+		for si, t := range out.trans[s] {
+			if t < 0 {
+				out.trans[s][si] = sink
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns a DFA accepting exactly the traces over the same
+// alphabet that d rejects.
+func (d *DFA) Complement() *DFA {
+	out := d.Complete().Clone()
+	for s := range out.accept {
+		out.accept[s] = !out.accept[s]
+	}
+	return out
+}
+
+// IsEmpty reports whether the accepted language is empty.
+func (d *DFA) IsEmpty() bool {
+	_, ok := d.ShortestAccepted()
+	return !ok
+}
+
+// ShortestAccepted returns a shortest accepted trace and true, or nil and
+// false when the language is empty. Among shortest traces it returns the
+// one over the lexicographically least symbols (the alphabet is sorted
+// and BFS expands in alphabet order), making counterexample output
+// deterministic — the property §2.2's error messages rely on.
+func (d *DFA) ShortestAccepted() ([]string, bool) {
+	type node struct {
+		state int
+		trace []string
+	}
+	visited := make([]bool, len(d.trans))
+	visited[d.start] = true
+	frontier := []node{{state: d.start}}
+	for len(frontier) > 0 {
+		var next []node
+		for _, n := range frontier {
+			if d.accept[n.state] {
+				return n.trace, true
+			}
+			for si, sym := range d.alphabet {
+				t := d.trans[n.state][si]
+				if t < 0 || visited[t] {
+					continue
+				}
+				visited[t] = true
+				trace := make([]string, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = sym
+				next = append(next, node{state: t, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+// Reachable returns an equivalent DFA with unreachable states removed
+// (states renumbered in BFS order from the start state).
+func (d *DFA) Reachable() *DFA {
+	remap := make([]int, len(d.trans))
+	for i := range remap {
+		remap[i] = -1
+	}
+	out := NewDFA(d.alphabet)
+	out.SetAccepting(out.Start(), d.accept[d.start])
+	remap[d.start] = out.Start()
+	queue := []int{d.start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for si, t := range d.trans[s] {
+			if t < 0 {
+				continue
+			}
+			if remap[t] < 0 {
+				remap[t] = out.AddState(d.accept[t])
+				queue = append(queue, t)
+			}
+			out.setTransition(remap[s], si, remap[t])
+		}
+	}
+	return out
+}

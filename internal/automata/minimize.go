@@ -1,0 +1,208 @@
+package automata
+
+import "sort"
+
+// Minimize returns the minimal DFA for the language of d, using
+// Hopcroft's partition-refinement algorithm on the completed automaton,
+// then trimming the dead partition back out. The result's states are
+// numbered in BFS order from the start state, so minimization is
+// canonical: two equivalent DFAs minimize to identical automata up to
+// this numbering.
+func (d *DFA) Minimize() *DFA {
+	t := d.Complete()
+	n := t.NumStates()
+	if n == 0 {
+		return d.Clone()
+	}
+
+	// Inverse transition table: for each symbol, for each state, the
+	// states mapping into it.
+	nsym := len(t.alphabet)
+	inv := make([][][]int, nsym)
+	for si := 0; si < nsym; si++ {
+		inv[si] = make([][]int, n)
+	}
+	for s := 0; s < n; s++ {
+		for si := 0; si < nsym; si++ {
+			to := t.trans[s][si]
+			inv[si][to] = append(inv[si][to], s)
+		}
+	}
+
+	// Initial partition: accepting vs non-accepting.
+	partOf := make([]int, n)
+	var accepting, rejecting []int
+	for s := 0; s < n; s++ {
+		if t.accept[s] {
+			accepting = append(accepting, s)
+		} else {
+			rejecting = append(rejecting, s)
+		}
+	}
+	var blocks [][]int
+	addBlock := func(members []int) int {
+		id := len(blocks)
+		blocks = append(blocks, members)
+		for _, s := range members {
+			partOf[s] = id
+		}
+		return id
+	}
+	if len(rejecting) > 0 {
+		addBlock(rejecting)
+	}
+	if len(accepting) > 0 {
+		addBlock(accepting)
+	}
+
+	// Worklist of (block id, symbol) splitters, seeded with every
+	// initial block (see the note on enqueueing both halves below).
+	type splitter struct{ block, sym int }
+	var work []splitter
+	for b := range blocks {
+		for si := 0; si < nsym; si++ {
+			work = append(work, splitter{block: b, sym: si})
+		}
+	}
+
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		// X = states with a transition on sym into the splitter block.
+		inX := make(map[int]struct{})
+		for _, target := range blocks[sp.block] {
+			for _, src := range inv[sp.sym][target] {
+				inX[src] = struct{}{}
+			}
+		}
+		if len(inX) == 0 {
+			continue
+		}
+
+		// Find blocks split by X.
+		touched := make(map[int][]int) // block id -> members in X
+		for s := range inX {
+			b := partOf[s]
+			touched[b] = append(touched[b], s)
+		}
+		blockIDs := make([]int, 0, len(touched))
+		for b := range touched {
+			blockIDs = append(blockIDs, b)
+		}
+		sort.Ints(blockIDs)
+
+		for _, b := range blockIDs {
+			intersection := touched[b]
+			if len(intersection) == len(blocks[b]) {
+				continue // not split
+			}
+			// difference = blocks[b] \ intersection
+			inInter := make(map[int]struct{}, len(intersection))
+			for _, s := range intersection {
+				inInter[s] = struct{}{}
+			}
+			var difference []int
+			for _, s := range blocks[b] {
+				if _, ok := inInter[s]; !ok {
+					difference = append(difference, s)
+				}
+			}
+			sort.Ints(intersection)
+			blocks[b] = intersection
+			newID := addBlock(difference)
+
+			// Hopcroft's refinement enqueues only the smaller half when
+			// the worklist tracks membership (a pending (B, σ) must be
+			// replaced by both halves). We do not track membership, so
+			// enqueue both halves — still correct, and the blocks are
+			// small enough here that the extra passes are cheap.
+			for si := 0; si < nsym; si++ {
+				work = append(work, splitter{block: b, sym: si})
+				work = append(work, splitter{block: newID, sym: si})
+			}
+		}
+	}
+
+	// Build the quotient automaton.
+	out := NewDFA(t.alphabet)
+	blockState := make([]int, len(blocks))
+	for i := range blockState {
+		blockState[i] = -1
+	}
+	startBlock := partOf[t.start]
+	blockState[startBlock] = out.Start()
+	out.SetAccepting(out.Start(), t.accept[t.start])
+	queue := []int{startBlock}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		rep := blocks[b][0]
+		for si := 0; si < nsym; si++ {
+			tb := partOf[t.trans[rep][si]]
+			if blockState[tb] < 0 {
+				blockState[tb] = out.AddState(t.accept[blocks[tb][0]])
+				queue = append(queue, tb)
+			}
+			out.setTransition(blockState[b], si, blockState[tb])
+		}
+	}
+	return trimDead(out)
+}
+
+// trimDead removes states from which no accepting state is reachable,
+// replacing their transitions with the implicit dead sink (-1).
+func trimDead(d *DFA) *DFA {
+	n := d.NumStates()
+	// Reverse reachability from accepting states.
+	radj := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for _, t := range d.trans[s] {
+			if t >= 0 {
+				radj[t] = append(radj[t], s)
+			}
+		}
+	}
+	live := make([]bool, n)
+	var stack []int
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			live[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range radj[s] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	out := NewDFA(d.alphabet)
+	remap := make([]int, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	out.SetAccepting(out.Start(), d.accept[d.start])
+	remap[d.start] = out.Start()
+	queue := []int{d.start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for si, t := range d.trans[s] {
+			if t < 0 || !live[t] {
+				continue
+			}
+			if remap[t] < 0 {
+				remap[t] = out.AddState(d.accept[t])
+				queue = append(queue, t)
+			}
+			out.setTransition(remap[s], si, remap[t])
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+// Package automata provides nondeterministic and deterministic finite
+// automata over string-labelled alphabets (operation names such as
+// "a.open"), together with the standard constructions the Shelley
+// pipeline needs:
+//
+//   - regex → NFA (Thompson and Glushkov constructions),
+//   - regex → DFA directly via Brzozowski derivatives,
+//   - NFA → DFA (subset construction),
+//   - DFA minimization (Hopcroft's algorithm),
+//   - boolean combinations (product construction), complement,
+//   - emptiness, shortest accepted word (deterministic BFS — the source
+//     of the reproducible counterexamples in the paper's error output),
+//   - language equivalence with distinguishing witnesses,
+//   - DFA → regex (state elimination), realizing Corollary 1 round trips.
+//
+// States are dense integers. All iteration orders are made deterministic
+// (alphabets sorted, transition targets sorted) so that every diagnostic
+// this library produces is stable across runs.
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NFA is a nondeterministic finite automaton with ε-transitions and a
+// single start state. The zero value is not meaningful; use NewNFA.
+type NFA struct {
+	alphabet []string        // sorted symbol names
+	symIndex map[string]int  // symbol -> index in alphabet
+	trans    []map[int][]int // state -> symbol index -> sorted targets
+	eps      [][]int         // state -> sorted ε-targets
+	accept   []bool          // state -> accepting
+	start    int
+}
+
+// NewNFA returns an empty NFA (one non-accepting start state, no
+// transitions) over the given alphabet. Duplicate symbols are removed.
+func NewNFA(alphabet []string) *NFA {
+	n := &NFA{symIndex: make(map[string]int)}
+	seen := make(map[string]struct{}, len(alphabet))
+	for _, s := range alphabet {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		n.alphabet = append(n.alphabet, s)
+	}
+	sort.Strings(n.alphabet)
+	for i, s := range n.alphabet {
+		n.symIndex[s] = i
+	}
+	n.start = n.AddState(false)
+	return n
+}
+
+// Alphabet returns the automaton's alphabet in sorted order. The caller
+// must not mutate the returned slice.
+func (n *NFA) Alphabet() []string { return n.alphabet }
+
+// Start returns the start state.
+func (n *NFA) Start() int { return n.start }
+
+// SetStart changes the start state.
+func (n *NFA) SetStart(s int) { n.start = s }
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.trans) }
+
+// Accepting reports whether state s accepts.
+func (n *NFA) Accepting(s int) bool { return n.accept[s] }
+
+// SetAccepting marks state s as accepting or not.
+func (n *NFA) SetAccepting(s int, accepting bool) { n.accept[s] = accepting }
+
+// AddState adds a fresh state and returns its id.
+func (n *NFA) AddState(accepting bool) int {
+	n.trans = append(n.trans, make(map[int][]int))
+	n.eps = append(n.eps, nil)
+	n.accept = append(n.accept, accepting)
+	return len(n.trans) - 1
+}
+
+// AddTransition adds from --sym--> to. The symbol must belong to the
+// alphabet; an unknown symbol is reported as an error rather than being
+// added silently.
+func (n *NFA) AddTransition(from int, sym string, to int) error {
+	si, ok := n.symIndex[sym]
+	if !ok {
+		return fmt.Errorf("automata: symbol %q not in alphabet %v", sym, n.alphabet)
+	}
+	n.trans[from][si] = insertSorted(n.trans[from][si], to)
+	return nil
+}
+
+// AddEpsilon adds an ε-transition from --ε--> to.
+func (n *NFA) AddEpsilon(from, to int) {
+	n.eps[from] = insertSorted(n.eps[from], to)
+}
+
+// Targets returns the states reachable from s on sym (no ε-closure).
+// The caller must not mutate the returned slice.
+func (n *NFA) Targets(s int, sym string) []int {
+	si, ok := n.symIndex[sym]
+	if !ok {
+		return nil
+	}
+	return n.trans[s][si]
+}
+
+// EpsilonClosure returns the ε-closure of the given states, sorted.
+func (n *NFA) EpsilonClosure(states []int) []int {
+	seen := make(map[int]struct{}, len(states))
+	stack := append([]int(nil), states...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		stack = append(stack, n.eps[s]...)
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Accepts reports whether the NFA accepts the trace, by on-the-fly
+// subset simulation.
+func (n *NFA) Accepts(trace []string) bool {
+	current := n.EpsilonClosure([]int{n.start})
+	for _, sym := range trace {
+		si, ok := n.symIndex[sym]
+		if !ok {
+			return false
+		}
+		next := make(map[int]struct{})
+		for _, s := range current {
+			for _, t := range n.trans[s][si] {
+				next[t] = struct{}{}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		flat := make([]int, 0, len(next))
+		for s := range next {
+			flat = append(flat, s)
+		}
+		current = n.EpsilonClosure(flat)
+	}
+	for _, s := range current {
+		if n.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinize performs the subset construction, producing a DFA that
+// accepts the same language. The result has no unreachable states; it is
+// not necessarily minimal.
+func (n *NFA) Determinize() *DFA {
+	d := NewDFA(n.alphabet)
+
+	startSet := n.EpsilonClosure([]int{n.start})
+	ids := map[string]int{}
+	key := func(set []int) string {
+		k := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			k = append(k, byte(s>>16), byte(s>>8), byte(s))
+		}
+		return string(k)
+	}
+	isAccepting := func(set []int) bool {
+		for _, s := range set {
+			if n.accept[s] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type work struct {
+		id  int
+		set []int
+	}
+	d.SetAccepting(d.Start(), isAccepting(startSet))
+	ids[key(startSet)] = d.Start()
+	queue := []work{{id: d.Start(), set: startSet}}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for si := range n.alphabet {
+			var union []int
+			seen := make(map[int]struct{})
+			for _, s := range cur.set {
+				for _, t := range n.trans[s][si] {
+					if _, ok := seen[t]; !ok {
+						seen[t] = struct{}{}
+						union = append(union, t)
+					}
+				}
+			}
+			if len(union) == 0 {
+				continue
+			}
+			closed := n.EpsilonClosure(union)
+			k := key(closed)
+			id, ok := ids[k]
+			if !ok {
+				id = d.AddState(isAccepting(closed))
+				ids[k] = id
+				queue = append(queue, work{id: id, set: closed})
+			}
+			d.setTransition(cur.id, si, id)
+		}
+	}
+	return d
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

@@ -1,0 +1,199 @@
+package automata
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+// Property-based tests (testing/quick) of the boolean algebra of
+// regular languages as realized by the DFA operations.
+
+type dfaPair struct {
+	a, b *DFA
+	r1   regex.Regex
+	r2   regex.Regex
+}
+
+func (dfaPair) Generate(rng *rand.Rand, _ int) reflect.Value {
+	r1 := randomRegex(rng, 3)
+	r2 := randomRegex(rng, 3)
+	return reflect.ValueOf(dfaPair{
+		a:  CompileMinimal(r1),
+		b:  CompileMinimal(r2),
+		r1: r1,
+		r2: r2,
+	})
+}
+
+var quickTraces = allTraces([]string{"a", "b", "c"}, 3)
+
+func TestQuickProductImplementsBooleanAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(p dfaPair) bool {
+		inter := Intersect(p.a, p.b)
+		union := UnionDFA(p.a, p.b)
+		diff := Difference(p.a, p.b)
+		sym := SymmetricDifference(p.a, p.b)
+		for _, tr := range quickTraces {
+			ia, ib := p.a.Accepts(tr), p.b.Accepts(tr)
+			if inter.Accepts(tr) != (ia && ib) {
+				return false
+			}
+			if union.Accepts(tr) != (ia || ib) {
+				return false
+			}
+			if diff.Accepts(tr) != (ia && !ib) {
+				return false
+			}
+			if sym.Accepts(tr) != (ia != ib) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(p dfaPair) bool {
+		// a ∪ b = ¬(¬a ∩ ¬b). Complement is alphabet-relative, so both
+		// operands are first extended to the common union alphabet.
+		alpha := unionAlphabet(p.a, p.b)
+		pa := p.a.extendAlphabet(alpha)
+		pb := p.b.extendAlphabet(alpha)
+		lhs := UnionDFA(pa, pb)
+		rhs := Intersect(pa.Complement(), pb.Complement()).Complement()
+		for _, tr := range allTraces(alpha, 3) {
+			if lhs.Accepts(tr) != rhs.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDoubleComplement(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(p dfaPair) bool {
+		cc := p.a.Complement().Complement()
+		for _, tr := range quickTraces {
+			if cc.Accepts(tr) != p.a.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimizeIdempotentAndCanonical(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(p dfaPair) bool {
+		m1 := p.a.Minimize()
+		m2 := m1.Minimize()
+		if !sameDFA(m1, m2) {
+			return false
+		}
+		// Minimization of an equivalent automaton built differently
+		// yields the same structure.
+		alt := FromRegexThompson(p.r1).Determinize().Minimize()
+		return sameDFA(m1, alt)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEquivalentMatchesTraceComparison(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(p dfaPair) bool {
+		w, eq := Distinguish(p.a, p.b)
+		if eq {
+			for _, tr := range quickTraces {
+				if p.a.Accepts(tr) != p.b.Accepts(tr) {
+					return false
+				}
+			}
+			return true
+		}
+		return p.a.Accepts(w) != p.b.Accepts(w)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetConsistent(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(p dfaPair) bool {
+		ok, w := SubsetDFA(p.a, p.b)
+		if ok {
+			for _, tr := range quickTraces {
+				if p.a.Accepts(tr) && !p.b.Accepts(tr) {
+					return false
+				}
+			}
+			return true
+		}
+		return p.a.Accepts(w) && !p.b.Accepts(w)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickToRegexPreservesLanguage(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(p dfaPair) bool {
+		back := p.a.ToRegex()
+		for _, tr := range quickTraces {
+			if regex.Match(back, tr) != p.a.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShortestAcceptedIsShortestAndAccepted(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	f := func(p dfaPair) bool {
+		w, ok := p.a.ShortestAccepted()
+		if !ok {
+			// Language empty: nothing up to the bound may be accepted.
+			for _, tr := range quickTraces {
+				if p.a.Accepts(tr) {
+					return false
+				}
+			}
+			return true
+		}
+		if !p.a.Accepts(w) {
+			return false
+		}
+		for _, tr := range quickTraces {
+			if len(tr) < len(w) && p.a.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package check
+
+import (
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/model"
+)
+
+// FlattenedDFA exposes the composite class's behavior automaton over
+// subsystem operations — the object the checker verifies claims
+// against — for external backends (the NuSMV exporter) and tooling. For
+// a base class (no subsystems) it returns the class's own protocol
+// automaton.
+func FlattenedDFA(c *model.Class, reg Registry, opts ...Option) (*automata.DFA, error) {
+	if len(c.SubsystemNames) == 0 {
+		return c.SpecDFA("")
+	}
+	alphabet, err := subsystemAlphabet(c, reg)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := flattenWith(buildConfig(opts), c, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return flat.toDFA().Minimize(), nil
+}

@@ -1,0 +1,227 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/core"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+// flatAutomaton is the composite class's behavior over *subsystem*
+// operations: the class's usage protocol with every composite operation
+// substituted by the inferred behavior of its body (§3.2). It is an
+// ε-NFA whose ε-edges optionally carry the name of the composite
+// operation being entered, so counterexample traces can be rendered with
+// the operation boundaries the paper's error messages show
+// ("open_a, a.test, a.open").
+type flatAutomaton struct {
+	alphabet []string
+	edges    [][]flatEdge
+	accept   []bool
+	start    int
+}
+
+type flatEdge struct {
+	to  int
+	sym string // "" for ε
+	op  string // composite operation entered, for ε boundary edges
+}
+
+// flatten builds the flat automaton of a composite class.
+func flatten(c *model.Class, alphabet []string) (*flatAutomaton, error) {
+	protocol, err := c.SpecDFA("")
+	if err != nil {
+		return nil, err
+	}
+
+	f := &flatAutomaton{alphabet: alphabet}
+	addState := func(accepting bool) int {
+		f.edges = append(f.edges, nil)
+		f.accept = append(f.accept, accepting)
+		return len(f.edges) - 1
+	}
+
+	// One node per protocol state.
+	protoNode := make([]int, protocol.NumStates())
+	for p := 0; p < protocol.NumStates(); p++ {
+		protoNode[p] = addState(protocol.Accepting(p))
+	}
+	f.start = protoNode[protocol.Start()]
+
+	// Behavior DFA per operation, built once.
+	behavior := make(map[string]*automata.DFA, len(c.Operations))
+	for _, op := range c.Operations {
+		behavior[op.Name] = automata.CompileMinimal(regex.Simplify(core.Infer(op.Method.Program)))
+	}
+
+	// Substitute each protocol transition p --m--> q with a copy of
+	// behavior(m) bracketed by ε-edges.
+	for p := 0; p < protocol.NumStates(); p++ {
+		for _, op := range c.Operations {
+			q := protocol.Target(p, op.Name)
+			if q < 0 {
+				continue
+			}
+			b := behavior[op.Name]
+			if b.NumStates() == 0 {
+				continue
+			}
+			copyNode := make([]int, b.NumStates())
+			for s := 0; s < b.NumStates(); s++ {
+				copyNode[s] = addState(false)
+			}
+			f.edges[protoNode[p]] = append(f.edges[protoNode[p]], flatEdge{
+				to: copyNode[b.Start()],
+				op: op.Name,
+			})
+			for s := 0; s < b.NumStates(); s++ {
+				for _, sym := range b.Alphabet() {
+					t := b.Target(s, sym)
+					if t < 0 {
+						continue
+					}
+					f.edges[copyNode[s]] = append(f.edges[copyNode[s]], flatEdge{
+						to:  copyNode[t],
+						sym: sym,
+					})
+				}
+				if b.Accepting(s) {
+					f.edges[copyNode[s]] = append(f.edges[copyNode[s]], flatEdge{
+						to: protoNode[q],
+					})
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// toDFA erases the operation boundaries and determinizes.
+func (f *flatAutomaton) toDFA() *automata.DFA {
+	n := automata.NewNFA(f.alphabet)
+	// NFA state 0 already exists (its start); add the rest.
+	nodes := make([]int, len(f.edges))
+	nodes[0] = n.Start()
+	for i := 1; i < len(f.edges); i++ {
+		nodes[i] = n.AddState(false)
+	}
+	for i, accepting := range f.accept {
+		n.SetAccepting(nodes[i], accepting)
+	}
+	for from, edges := range f.edges {
+		for _, e := range edges {
+			if e.sym == "" {
+				n.AddEpsilon(nodes[from], nodes[e.to])
+				continue
+			}
+			if err := n.AddTransition(nodes[from], e.sym, nodes[e.to]); err != nil {
+				// The alphabet is the union of all subsystem operations;
+				// flatten's callers validate call definedness first, so
+				// this cannot happen. Panicking here would crash tools on
+				// a bug; drop the edge instead (under-approximating) and
+				// rely on the definedness diagnostics.
+				continue
+			}
+		}
+	}
+	// Remap the start if needed (node 0 of f corresponds to a protocol
+	// state, which is f.start only when the protocol start is state 0 —
+	// ensure correctness for any numbering).
+	n.SetStart(nodes[f.start])
+	return n.Determinize()
+}
+
+// pathEvent is one element of an annotated counterexample path: entering
+// a composite operation or emitting a subsystem symbol.
+type pathEvent struct {
+	op  string // non-empty: entering this operation
+	sym string // non-empty: subsystem operation fired
+}
+
+// annotate finds an accepting run of f over the exact trace and returns
+// the path events (operation entries interleaved with symbols). BFS over
+// (state, position) pairs keeps the reconstruction shortest and
+// deterministic.
+func (f *flatAutomaton) annotate(trace []string) ([]pathEvent, error) {
+	type node struct {
+		state, pos int
+	}
+	type step struct {
+		prev  node
+		event pathEvent
+		used  bool
+	}
+	visited := make(map[node]step)
+	startNode := node{state: f.start, pos: 0}
+	visited[startNode] = step{}
+	queue := []node{startNode}
+
+	var goal *node
+	for len(queue) > 0 && goal == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.pos == len(trace) && f.accept[cur.state] {
+			g := cur
+			goal = &g
+			break
+		}
+		for _, e := range f.edges[cur.state] {
+			var next node
+			var ev pathEvent
+			switch {
+			case e.sym == "":
+				next = node{state: e.to, pos: cur.pos}
+				ev = pathEvent{op: e.op}
+			case cur.pos < len(trace) && trace[cur.pos] == e.sym:
+				next = node{state: e.to, pos: cur.pos + 1}
+				ev = pathEvent{sym: e.sym}
+			default:
+				continue
+			}
+			if _, seen := visited[next]; seen {
+				continue
+			}
+			visited[next] = step{prev: cur, event: ev, used: true}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		return nil, fmt.Errorf("check: trace %v is not accepted by the flattened automaton", trace)
+	}
+	var events []pathEvent
+	for at := *goal; ; {
+		s := visited[at]
+		if !s.used {
+			break
+		}
+		if s.event.op != "" || s.event.sym != "" {
+			events = append(events, s.event)
+		}
+		at = s.prev
+	}
+	// Reverse.
+	for i, j := 0, len(events)-1; i < j; i, j = i+1, j-1 {
+		events[i], events[j] = events[j], events[i]
+	}
+	return events, nil
+}
+
+// subsystemAlphabet returns the union of the qualified operation names
+// of every subsystem, sorted.
+func subsystemAlphabet(c *model.Class, reg Registry) ([]string, error) {
+	var out []string
+	for _, name := range c.SubsystemNames {
+		subClass, err := reg.resolve(c, name)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range subClass.Operations {
+			out = append(out, name+"."+op.Name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

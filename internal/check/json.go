@@ -1,0 +1,83 @@
+package check
+
+import "encoding/json"
+
+// JSON encodings for machine-readable tooling (shelleyc -json, CI
+// integrations). Kinds marshal as their stable string names, not their
+// internal integer values.
+
+// MarshalJSON implements json.Marshaler.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for candidate := KindStructure; candidate <= KindHelperUsesSubsystem; candidate++ {
+		if candidate.String() == s {
+			*k = candidate
+			return nil
+		}
+	}
+	return &UnknownKindError{Name: s}
+}
+
+// UnknownKindError reports an unrecognized kind name during decoding.
+type UnknownKindError struct {
+	Name string
+}
+
+func (e *UnknownKindError) Error() string {
+	return "check: unknown diagnostic kind " + e.Name
+}
+
+// reportJSON is the wire form of a Report.
+type reportJSON struct {
+	Class       string           `json:"class"`
+	OK          bool             `json:"ok"`
+	Diagnostics []diagnosticJSON `json:"diagnostics,omitempty"`
+}
+
+type diagnosticJSON struct {
+	Kind           Kind     `json:"kind"`
+	Message        string   `json:"message"`
+	Counterexample []string `json:"counterexample,omitempty"`
+	Explanation    string   `json:"explanation,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{Class: r.Class, OK: r.OK()}
+	for _, d := range r.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, diagnosticJSON{
+			Kind:           d.Kind,
+			Message:        d.Message,
+			Counterexample: d.Counterexample,
+			Explanation:    d.Explanation,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	r.Class = in.Class
+	r.Diagnostics = nil
+	for _, d := range in.Diagnostics {
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Kind:           d.Kind,
+			Message:        d.Message,
+			Counterexample: d.Counterexample,
+			Explanation:    d.Explanation,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package check
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	reg, _, bad := paperRegistry(t)
+	report, err := Check(bad, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Class != report.Class || len(back.Diagnostics) != len(report.Diagnostics) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i := range report.Diagnostics {
+		if back.Diagnostics[i].Kind != report.Diagnostics[i].Kind {
+			t.Errorf("diagnostic %d kind = %v", i, back.Diagnostics[i].Kind)
+		}
+		if back.Diagnostics[i].Message != report.Diagnostics[i].Message {
+			t.Errorf("diagnostic %d message differs", i)
+		}
+		if !reflect.DeepEqual(back.Diagnostics[i].Counterexample, report.Diagnostics[i].Counterexample) {
+			t.Errorf("diagnostic %d counterexample differs", i)
+		}
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	data, err := json.Marshal(KindClaimFailure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"FAIL TO MEET REQUIREMENT"` {
+		t.Errorf("marshal = %s", data)
+	}
+	var k Kind
+	if err := json.Unmarshal(data, &k); err != nil {
+		t.Fatal(err)
+	}
+	if k != KindClaimFailure {
+		t.Errorf("unmarshal = %v", k)
+	}
+	if err := json.Unmarshal([]byte(`"NOPE"`), &k); err == nil {
+		t.Error("unknown kind should fail to decode")
+	} else if _, ok := err.(*UnknownKindError); !ok {
+		t.Errorf("error type = %T", err)
+	}
+	if err := json.Unmarshal([]byte(`42`), &k); err == nil {
+		t.Error("non-string kind should fail to decode")
+	}
+}
+
+func TestOKReportJSONHasNoDiagnostics(t *testing.T) {
+	reg, valve, _ := paperRegistry(t)
+	report, err := Check(valve, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["ok"] != true {
+		t.Errorf("ok = %v", m["ok"])
+	}
+	if _, present := m["diagnostics"]; present {
+		t.Error("diagnostics should be omitted when empty")
+	}
+}

@@ -1,0 +1,143 @@
+package check
+
+import (
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/core"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+// Option configures Check.
+type Option func(*config)
+
+type config struct {
+	precise bool
+}
+
+// Precise switches the composite analysis to *exit-aware* flattening:
+// the behavior of each operation is split per return statement
+// (core.ExtractPerExit) and paired with that exit's declared
+// continuation set, eliminating the union-level over-approximation of
+// the paper's model (DESIGN.md §6). Verdicts can only move from
+// "violation" to "ok": the precise language is a subset of the default
+// one.
+func Precise() Option {
+	return func(c *config) { c.precise = true }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, apply := range opts {
+		apply(&c)
+	}
+	return c
+}
+
+// flattenExitAware builds the exit-aware flat automaton: protocol states
+// are "just created" plus one state per (operation, exit point); the
+// edge entering operation n toward its exit e substitutes the behavior
+// of exactly the paths that reach e's return statement.
+//
+// Operations whose body can fall off the end without returning
+// contribute a pseudo-exit with the ongoing behavior and no
+// continuations.
+func flattenExitAware(c *model.Class, alphabet []string) (*flatAutomaton, error) {
+	f := &flatAutomaton{alphabet: alphabet}
+	addState := func(accepting bool) int {
+		f.edges = append(f.edges, nil)
+		f.accept = append(f.accept, accepting)
+		return len(f.edges) - 1
+	}
+
+	start := addState(true) // never using the composite is valid
+	f.start = start
+
+	// Per-operation refinement and per-(op, exit) states.
+	type exitInfo struct {
+		state    int
+		next     []string
+		behavior *automata.DFA
+	}
+	exitsOf := make(map[string][]exitInfo, len(c.Operations))
+	for _, op := range c.Operations {
+		fine := core.ExtractPerExit(op.Method.Program)
+		var infos []exitInfo
+		for _, e := range op.Method.Exits {
+			expr, ok := fine.ByExit[e.ID]
+			if !ok {
+				continue // unreachable return (e.g. dead code after return)
+			}
+			infos = append(infos, exitInfo{
+				state:    addState(op.Final),
+				next:     e.Next,
+				behavior: automata.CompileMinimal(regex.Simplify(expr)),
+			})
+		}
+		if !regex.IsEmptyLanguage(regex.Simplify(fine.Ongoing)) {
+			// Implicit exit: the body can complete without a return; no
+			// operation may follow (Python returns None here, which
+			// declares nothing).
+			infos = append(infos, exitInfo{
+				state:    addState(op.Final),
+				behavior: automata.CompileMinimal(regex.Simplify(fine.Ongoing)),
+			})
+		}
+		exitsOf[op.Name] = infos
+	}
+
+	// connect wires source state s to every exit of operation n through
+	// a fresh copy of that exit's behavior automaton.
+	connect := func(s int, opName string) {
+		for _, info := range exitsOf[opName] {
+			b := info.behavior
+			copyNode := make([]int, b.NumStates())
+			for i := 0; i < b.NumStates(); i++ {
+				copyNode[i] = addState(false)
+			}
+			f.edges[s] = append(f.edges[s], flatEdge{to: copyNode[b.Start()], op: opName})
+			for i := 0; i < b.NumStates(); i++ {
+				for _, sym := range b.Alphabet() {
+					if t := b.Target(i, sym); t >= 0 {
+						f.edges[copyNode[i]] = append(f.edges[copyNode[i]], flatEdge{
+							to:  copyNode[t],
+							sym: sym,
+						})
+					}
+				}
+				if b.Accepting(i) {
+					f.edges[copyNode[i]] = append(f.edges[copyNode[i]], flatEdge{to: info.state})
+				}
+			}
+		}
+	}
+
+	for _, op := range c.Operations {
+		if op.Initial {
+			connect(start, op.Name)
+		}
+	}
+	for _, op := range c.Operations {
+		for _, info := range exitsOf[op.Name] {
+			seen := make(map[string]struct{}, len(info.next))
+			for _, n := range info.next {
+				if _, dup := seen[n]; dup {
+					continue
+				}
+				seen[n] = struct{}{}
+				if c.Operation(n) == nil {
+					continue // reported by Validate/definedness
+				}
+				connect(info.state, n)
+			}
+		}
+	}
+	return f, nil
+}
+
+// flattenWith picks the flattening mode.
+func flattenWith(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, error) {
+	if cfg.precise {
+		return flattenExitAware(c, alphabet)
+	}
+	return flatten(c, alphabet)
+}

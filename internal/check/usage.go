@@ -1,0 +1,190 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/model"
+)
+
+// checkUsage verifies that every complete usage of the composite class
+// drives each subsystem according to the subsystem's own protocol. When
+// a violation exists, it reports the paper's error message with the
+// shortest (alphabet-ordered) counterexample:
+//
+//	Error in specification: INVALID SUBSYSTEM USAGE
+//	Counter example: open_a, a.test, a.open
+//	Subsystems errors:
+//	  * Valve 'a': test, >open< (not final)
+func checkUsage(cfg config, c *model.Class, reg Registry, subs map[string]*model.Class, report *Report) error {
+	alphabet, err := subsystemAlphabet(c, reg)
+	if err != nil {
+		return err
+	}
+	flat, err := flattenWith(cfg, c, alphabet)
+	if err != nil {
+		return err
+	}
+	flatDFA := flat.toDFA()
+
+	// Specification DFA per subsystem, qualified and completed over its
+	// own alphabet.
+	specs := make(map[string]*automata.DFA, len(subs))
+	specAlphabet := make(map[string]map[string]struct{}, len(subs))
+	for _, name := range c.SubsystemNames {
+		spec, err := subs[name].SpecDFA(name)
+		if err != nil {
+			return err
+		}
+		specs[name] = spec
+		set := make(map[string]struct{})
+		for _, sym := range spec.Alphabet() {
+			set[sym] = struct{}{}
+		}
+		specAlphabet[name] = set
+	}
+
+	// Find, per subsystem, the shortest complete flattened trace whose
+	// projection the subsystem's spec rejects; then report the overall
+	// shortest (ties broken by subsystem declaration order).
+	var best []string
+	found := false
+	for _, name := range c.SubsystemNames {
+		w, ok := shortestBadUsage(flatDFA, specs[name], specAlphabet[name])
+		if !ok {
+			continue
+		}
+		if !found || len(w) < len(best) {
+			best = w
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+
+	// Annotate the trace with operation boundaries.
+	events, err := flat.annotate(best)
+	if err != nil {
+		return err
+	}
+	var rendered []string
+	for _, e := range events {
+		if e.op != "" {
+			rendered = append(rendered, e.op)
+		} else {
+			rendered = append(rendered, e.sym)
+		}
+	}
+
+	// Per-subsystem error lines for this trace.
+	var lines []string
+	for _, name := range c.SubsystemNames {
+		line, bad := subsystemErrorLine(c, name, specs[name], specAlphabet[name], best)
+		if bad {
+			lines = append(lines, line)
+		}
+	}
+
+	report.Diagnostics = append(report.Diagnostics, Diagnostic{
+		Kind:           KindInvalidSubsystemUsage,
+		Counterexample: best,
+		Message: fmt.Sprintf(
+			"Error in specification: INVALID SUBSYSTEM USAGE\nCounter example: %s\nSubsystems errors:\n%s",
+			traceString(rendered), strings.Join(lines, "\n")),
+	})
+	return nil
+}
+
+// shortestBadUsage searches the product of the flattened-behavior DFA
+// and one subsystem's specification for the shortest complete usage
+// whose projection the spec rejects. The spec only steps on its own
+// symbols; other symbols leave it in place. Spec state -2 means the
+// projection already died.
+func shortestBadUsage(flat, spec *automata.DFA, specSyms map[string]struct{}) ([]string, bool) {
+	type pair struct{ f, s int }
+	type node struct {
+		at    pair
+		trace []string
+	}
+	start := pair{f: flat.Start(), s: spec.Start()}
+	visited := map[pair]struct{}{start: {}}
+	frontier := []node{{at: start}}
+	for len(frontier) > 0 {
+		var next []node
+		for _, n := range frontier {
+			if flat.Accepting(n.at.f) && (n.at.s < 0 || !spec.Accepting(n.at.s)) {
+				return n.trace, true
+			}
+			for _, sym := range flat.Alphabet() {
+				ft := flat.Target(n.at.f, sym)
+				if ft < 0 {
+					continue
+				}
+				st := n.at.s
+				if _, mine := specSyms[sym]; mine {
+					if st >= 0 {
+						st = spec.Target(st, sym)
+					}
+					if st < 0 {
+						st = -2 // dead: projection invalid from here on
+					}
+				}
+				np := pair{f: ft, s: st}
+				if _, seen := visited[np]; seen {
+					continue
+				}
+				visited[np] = struct{}{}
+				trace := make([]string, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = sym
+				next = append(next, node{at: np, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+// subsystemErrorLine renders one "  * Valve 'a': test, >open< (not
+// final)" line by replaying the projection of the trace on the
+// subsystem's spec. The second result reports whether the subsystem's
+// usage in the trace is actually invalid.
+func subsystemErrorLine(c *model.Class, name string, spec *automata.DFA, specSyms map[string]struct{}, trace []string) (string, bool) {
+	prefix := name + "."
+	var shown []string
+	state := spec.Start()
+	bad := false
+	for _, sym := range trace {
+		if _, mine := specSyms[sym]; !mine {
+			continue
+		}
+		unqualified := strings.TrimPrefix(sym, prefix)
+		if state >= 0 {
+			state = spec.Target(state, sym)
+		}
+		if state < 0 && !bad {
+			// This step was not allowed by the protocol at all.
+			shown = append(shown, ">"+unqualified+"< (invalid)")
+			bad = true
+			continue
+		}
+		shown = append(shown, unqualified)
+	}
+	if !bad {
+		if state >= 0 && spec.Accepting(state) {
+			return "", false
+		}
+		// The usage stops at a non-final operation: highlight the last
+		// step the way the paper does. An empty projection cannot be
+		// rejected (specs accept the empty usage), so shown is non-empty
+		// here; guard anyway to stay total.
+		if len(shown) == 0 {
+			return "", false
+		}
+		last := shown[len(shown)-1]
+		shown[len(shown)-1] = ">" + last + "< (not final)"
+	}
+	return fmt.Sprintf("  * %s '%s': %s", c.SubsystemTypes[name], name, strings.Join(shown, ", ")), true
+}

@@ -1,0 +1,110 @@
+package check
+
+import (
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/model"
+)
+
+// Violation is one invalid complete usage of a composite found by
+// UsageViolations.
+type Violation struct {
+	// Subsystem is the field whose protocol the trace violates.
+	Subsystem string
+
+	// Trace is the flattened subsystem trace (complete usage).
+	Trace []string
+}
+
+// UsageViolations enumerates up to max distinct violating complete
+// usages per subsystem, shortest first (breadth-first over the product
+// automaton, alphabet-ordered, so the output is deterministic). It is
+// the tooling counterpart of Check's single-counterexample diagnostic:
+// IDE integrations and reports can show several distinct failures at
+// once.
+func UsageViolations(c *model.Class, reg Registry, max int, opts ...Option) ([]Violation, error) {
+	if len(c.SubsystemNames) == 0 || max <= 0 {
+		return nil, nil
+	}
+	alphabet, err := subsystemAlphabet(c, reg)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := flattenWith(buildConfig(opts), c, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	flatDFA := flat.toDFA()
+
+	var out []Violation
+	for _, name := range c.SubsystemNames {
+		sub, err := reg.resolve(c, name)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := sub.SpecDFA(name)
+		if err != nil {
+			return nil, err
+		}
+		specSyms := make(map[string]struct{})
+		for _, sym := range spec.Alphabet() {
+			specSyms[sym] = struct{}{}
+		}
+		for _, tr := range badUsages(flatDFA, spec, specSyms, max) {
+			out = append(out, Violation{Subsystem: name, Trace: tr})
+		}
+	}
+	return out, nil
+}
+
+// badUsages collects up to max violating complete usages for one
+// subsystem. Unlike shortestBadUsage it keeps searching after the first
+// hit, but still visits each product state once, so each reported trace
+// reaches a distinct violating configuration.
+func badUsages(flat, spec *automata.DFA, specSyms map[string]struct{}, max int) [][]string {
+	type pair struct{ f, s int }
+	type node struct {
+		at    pair
+		trace []string
+	}
+	start := pair{f: flat.Start(), s: spec.Start()}
+	visited := map[pair]struct{}{start: {}}
+	frontier := []node{{at: start}}
+	var out [][]string
+	for len(frontier) > 0 && len(out) < max {
+		var next []node
+		for _, n := range frontier {
+			if flat.Accepting(n.at.f) && (n.at.s < 0 || !spec.Accepting(n.at.s)) {
+				out = append(out, n.trace)
+				if len(out) >= max {
+					return out
+				}
+			}
+			for _, sym := range flat.Alphabet() {
+				ft := flat.Target(n.at.f, sym)
+				if ft < 0 {
+					continue
+				}
+				st := n.at.s
+				if _, mine := specSyms[sym]; mine {
+					if st >= 0 {
+						st = spec.Target(st, sym)
+					}
+					if st < 0 {
+						st = -2
+					}
+				}
+				np := pair{f: ft, s: st}
+				if _, seen := visited[np]; seen {
+					continue
+				}
+				visited[np] = struct{}{}
+				trace := make([]string, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = sym
+				next = append(next, node{at: np, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	return out
+}

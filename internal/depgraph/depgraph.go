@@ -1,0 +1,184 @@
+// Package depgraph implements method dependency extraction (§3.1 of the
+// paper): a directed graph whose nodes are the entry point of each method
+// and every exit point (one per return statement), and whose arcs are the
+// ordering constraints induced by `return ["m1", ..., mn]` statements:
+//
+//   - the entry node of a method links to each of its exit nodes;
+//   - each exit node links to the entry node of every method it names.
+//
+// Fig. 3 of the paper is the dependency graph of Listing 3.1; the viz
+// package renders these graphs to DOT.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/lower"
+)
+
+// NodeKind distinguishes entry nodes from exit nodes.
+type NodeKind int
+
+const (
+	// Entry is the single entry node of a method.
+	Entry NodeKind = iota + 1
+
+	// Exit is one return statement of a method.
+	Exit
+)
+
+// Node is a graph node.
+type Node struct {
+	Kind   NodeKind
+	Method string
+	// ExitID is the return statement's index within the method (exit
+	// nodes only).
+	ExitID int
+}
+
+// Label renders the node for diagrams: "open_a" for entries,
+// "open_a/exit0" for exits.
+func (n Node) Label() string {
+	if n.Kind == Entry {
+		return n.Method
+	}
+	return fmt.Sprintf("%s/exit%d", n.Method, n.ExitID)
+}
+
+// Graph is a method dependency graph.
+type Graph struct {
+	nodes   []Node
+	adj     [][]int
+	entries map[string]int // method -> entry node id
+	methods []string       // source order
+}
+
+// Build constructs the dependency graph of the given methods. Methods
+// named in a return list that are not defined produce an error (the
+// "method invocation analysis" of §3 checks definedness).
+func Build(methods []*lower.Method) (*Graph, error) {
+	g := &Graph{entries: make(map[string]int, len(methods))}
+
+	for _, m := range methods {
+		if _, dup := g.entries[m.Name]; dup {
+			return nil, fmt.Errorf("depgraph: method %q defined twice", m.Name)
+		}
+		id := len(g.nodes)
+		g.nodes = append(g.nodes, Node{Kind: Entry, Method: m.Name})
+		g.adj = append(g.adj, nil)
+		g.entries[m.Name] = id
+		g.methods = append(g.methods, m.Name)
+	}
+
+	for _, m := range methods {
+		entry := g.entries[m.Name]
+		for _, e := range m.Exits {
+			exitID := len(g.nodes)
+			g.nodes = append(g.nodes, Node{Kind: Exit, Method: m.Name, ExitID: e.ID})
+			g.adj = append(g.adj, nil)
+			g.adj[entry] = append(g.adj[entry], exitID)
+			for _, next := range e.Next {
+				target, ok := g.entries[next]
+				if !ok {
+					return nil, fmt.Errorf("depgraph: method %q returns undefined method %q", m.Name, next)
+				}
+				g.adj[exitID] = append(g.adj[exitID], target)
+			}
+		}
+	}
+	return g, nil
+}
+
+// NumNodes returns the number of nodes (entries plus exits).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Methods returns the method names in source order. The caller must not
+// mutate the returned slice.
+func (g *Graph) Methods() []string { return g.methods }
+
+// EntryNode returns the entry node id of the method and whether it
+// exists.
+func (g *Graph) EntryNode(method string) (int, bool) {
+	id, ok := g.entries[method]
+	return id, ok
+}
+
+// ExitNodes returns the exit node ids of the method in return order.
+func (g *Graph) ExitNodes(method string) []int {
+	entry, ok := g.entries[method]
+	if !ok {
+		return nil
+	}
+	return g.adj[entry]
+}
+
+// Successors returns the node ids reachable in one step from id. The
+// caller must not mutate the returned slice.
+func (g *Graph) Successors(id int) []int { return g.adj[id] }
+
+// NextMethods returns the union of methods allowed after the given
+// method (over all its exits), sorted.
+func (g *Graph) NextMethods(method string) []string {
+	set := make(map[string]struct{})
+	for _, exit := range g.ExitNodes(method) {
+		for _, succ := range g.adj[exit] {
+			set[g.nodes[succ].Method] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReachableFrom returns the method names reachable (by any path) from the
+// entry nodes of the given methods, including those methods themselves,
+// sorted.
+func (g *Graph) ReachableFrom(methods []string) []string {
+	seen := make(map[int]struct{})
+	var stack []int
+	for _, m := range methods {
+		if id, ok := g.entries[m]; ok {
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		stack = append(stack, g.adj[id]...)
+	}
+	methodsOut := make(map[string]struct{})
+	for id := range seen {
+		methodsOut[g.nodes[id].Method] = struct{}{}
+	}
+	out := make([]string, 0, len(methodsOut))
+	for m := range methodsOut {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edge is a directed arc, used by renderers.
+type Edge struct{ From, To int }
+
+// Edges returns all arcs in deterministic order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for from, succs := range g.adj {
+		for _, to := range succs {
+			out = append(out, Edge{From: from, To: to})
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package depgraph
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/lower"
+	"github.com/shelley-go/shelley/internal/pyparse"
+)
+
+func sectorMethods(t *testing.T) []*lower.Method {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", "sector.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := pyparse.ParseClass(string(b), "Sector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*lower.Method
+	for _, fn := range cls.Methods {
+		m, err := lower.LowerMethod(fn, lower.TrackedFields(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestFig3SectorGraph reproduces the structure of Fig. 3 of the paper:
+// the dependency graph of Listing 3.1.
+func TestFig3SectorGraph(t *testing.T) {
+	g, err := Build(sectorMethods(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 methods → 4 entry nodes; open_a has 2 exits, clean_a 1,
+	// close_a 1, open_b 2 → 6 exit nodes; 10 nodes total.
+	if got := g.NumNodes(); got != 10 {
+		t.Errorf("nodes = %d, want 10", got)
+	}
+	if got := g.Methods(); !reflect.DeepEqual(got, []string{"open_a", "clean_a", "close_a", "open_b"}) {
+		t.Errorf("methods = %v", got)
+	}
+
+	// Entry of open_a links to its two exits.
+	exits := g.ExitNodes("open_a")
+	if len(exits) != 2 {
+		t.Fatalf("open_a exits = %v", exits)
+	}
+	// Exit A returns ["close_a", "open_b"]: links to both entries.
+	succA := g.Successors(exits[0])
+	if len(succA) != 2 {
+		t.Fatalf("exit A successors = %v", succA)
+	}
+	if g.Node(succA[0]).Method != "close_a" || g.Node(succA[1]).Method != "open_b" {
+		t.Errorf("exit A targets = %v, %v", g.Node(succA[0]), g.Node(succA[1]))
+	}
+	// Exit B returns ["clean_a"].
+	succB := g.Successors(exits[1])
+	if len(succB) != 1 || g.Node(succB[0]).Method != "clean_a" {
+		t.Errorf("exit B successors = %v", succB)
+	}
+
+	// open_b's exits both return []: no successors.
+	for _, e := range g.ExitNodes("open_b") {
+		if len(g.Successors(e)) != 0 {
+			t.Errorf("open_b exit %d has successors", e)
+		}
+	}
+
+	// Union next relation (the op-level edges of Fig. 3).
+	if got := g.NextMethods("open_a"); !reflect.DeepEqual(got, []string{"clean_a", "close_a", "open_b"}) {
+		t.Errorf("NextMethods(open_a) = %v", got)
+	}
+	if got := g.NextMethods("clean_a"); !reflect.DeepEqual(got, []string{"open_a"}) {
+		t.Errorf("NextMethods(clean_a) = %v", got)
+	}
+	if got := g.NextMethods("open_b"); len(got) != 0 {
+		t.Errorf("NextMethods(open_b) = %v", got)
+	}
+}
+
+func TestEntryAndLabels(t *testing.T) {
+	g, err := Build(sectorMethods(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := g.EntryNode("open_a")
+	if !ok {
+		t.Fatal("open_a entry missing")
+	}
+	if got := g.Node(id).Label(); got != "open_a" {
+		t.Errorf("entry label = %q", got)
+	}
+	exit0 := g.ExitNodes("open_a")[0]
+	if got := g.Node(exit0).Label(); got != "open_a/exit0" {
+		t.Errorf("exit label = %q", got)
+	}
+	if _, ok := g.EntryNode("nope"); ok {
+		t.Error("EntryNode(nope) should be false")
+	}
+	if exits := g.ExitNodes("nope"); exits != nil {
+		t.Error("ExitNodes(nope) should be nil")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g, err := Build(sectorMethods(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.ReachableFrom([]string{"clean_a"})
+	// clean_a → open_a → {close_a, open_b, clean_a} → all.
+	want := []string{"clean_a", "close_a", "open_a", "open_b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReachableFrom = %v, want %v", got, want)
+	}
+	if got := g.ReachableFrom([]string{"open_b"}); !reflect.DeepEqual(got, []string{"open_b"}) {
+		t.Errorf("ReachableFrom(open_b) = %v", got)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g, err := Build(sectorMethods(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := g.Edges()
+	g2, err := Build(sectorMethods(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := g2.Edges()
+	if !reflect.DeepEqual(e1, e2) {
+		t.Error("Edges not deterministic across builds")
+	}
+	// Total arcs: entry→exit (6) + exit→entry (2+1+1+1+0+0 = 5).
+	if len(e1) != 11 {
+		t.Errorf("edges = %d, want 11", len(e1))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	parse := func(src string) []*lower.Method {
+		cls, err := pyparse.ParseClass(src, "C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*lower.Method
+		for _, fn := range cls.Methods {
+			m, err := lower.LowerMethod(fn, lower.TrackedFields(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, m)
+		}
+		return out
+	}
+	// Undefined next method.
+	if _, err := Build(parse("class C:\n    def m(self):\n        return [\"ghost\"]\n")); err == nil {
+		t.Error("expected undefined-method error")
+	}
+	// Duplicate method names.
+	dup := parse("class C:\n    def m(self):\n        return []\n    def m(self):\n        return []\n")
+	if _, err := Build(dup); err == nil {
+		t.Error("expected duplicate-method error")
+	}
+}

@@ -1,0 +1,29 @@
+package ir
+
+import "testing"
+
+// FuzzParse checks the calculus parser's totality and print/parse
+// stability.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"", "skip", "return", "a()", "a(); b()",
+		"if(*) { a() } else { skip }",
+		"loop(*) { a(); if(*) { b(); return } else { c() } }",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q does not reparse: %v", printed, err)
+		}
+		if back.String() != printed {
+			t.Fatalf("print/parse not stable: %q -> %q", printed, back.String())
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a program in the concrete syntax produced by String:
+//
+//	program ::= stmt (";" stmt)*
+//	stmt    ::= ident "(" ")"
+//	          | "skip"
+//	          | "return"
+//	          | "if" "(" "*" ")" "{" program "}" "else" "{" program "}"
+//	          | "loop" "(" "*" ")" "{" program "}"
+//	ident   ::= letter (letter | digit | "_" | ".")*
+//
+// so that Parse(p.String()) reconstructs p. It powers the shelleytrace
+// CLI, which lets users experiment with the paper's calculus directly.
+func Parse(src string) (Program, error) {
+	p := &irParser{src: src}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errorf("unexpected trailing input")
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests.
+func MustParse(src string) Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type irParser struct {
+	src string
+	pos int
+}
+
+func (p *irParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ir: %q at offset %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *irParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *irParser) peekByte() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *irParser) expect(s string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], s) {
+		return p.errorf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *irParser) parseProgram() (Program, error) {
+	first, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Program{first}
+	for {
+		p.skipSpace()
+		if p.peekByte() != ';' {
+			return NewSeq(parts...), nil
+		}
+		p.pos++
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, s)
+	}
+}
+
+func (p *irParser) parseStmt() (Program, error) {
+	p.skipSpace()
+	word := p.peekIdent()
+	switch word {
+	case "":
+		return nil, p.errorf("expected a statement")
+	case "skip":
+		p.pos += len("skip")
+		return Skip{}, nil
+	case "return":
+		p.pos += len("return")
+		return Return{}, nil
+	case "if":
+		p.pos += len("if")
+		for _, tok := range []string{"(", "*", ")", "{"} {
+			if err := p.expect(tok); err != nil {
+				return nil, err
+			}
+		}
+		then, err := p.parseProgram()
+		if err != nil {
+			return nil, err
+		}
+		for _, tok := range []string{"}", "else", "{"} {
+			if err := p.expect(tok); err != nil {
+				return nil, err
+			}
+		}
+		els, err := p.parseProgram()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return If{Then: then, Else: els}, nil
+	case "loop":
+		p.pos += len("loop")
+		for _, tok := range []string{"(", "*", ")", "{"} {
+			if err := p.expect(tok); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseProgram()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return Loop{Body: body}, nil
+	default:
+		p.pos += len(word)
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Call{Label: word}, nil
+	}
+}
+
+// peekIdent returns the identifier at the cursor without consuming it.
+func (p *irParser) peekIdent() string {
+	i := p.pos
+	if i >= len(p.src) {
+		return ""
+	}
+	c := rune(p.src[i])
+	if !unicode.IsLetter(c) && c != '_' {
+		return ""
+	}
+	j := i
+	for j < len(p.src) {
+		c := rune(p.src[j])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			j++
+			continue
+		}
+		if c == '.' && j+1 < len(p.src) {
+			n := rune(p.src[j+1])
+			if unicode.IsLetter(n) || unicode.IsDigit(n) || n == '_' {
+				j += 2
+				continue
+			}
+		}
+		break
+	}
+	return p.src[i:j]
+}

@@ -1,0 +1,75 @@
+package ir
+
+import "math/rand"
+
+// GeneratorConfig tunes Random, the random-program generator used by the
+// executable theorem tests (Theorems 1–2 run over thousands of random
+// programs).
+type GeneratorConfig struct {
+	// MaxDepth bounds the height of the generated tree. Zero means a
+	// depth of 3, which already covers every pair of nested constructs.
+	MaxDepth int
+
+	// Labels is the alphabet to draw call labels from. Empty means
+	// {"a", "b", "c"}.
+	Labels []string
+
+	// ReturnWeight is the number of chances (out of 6 leaf choices) of
+	// generating a return leaf. Zero means 1.
+	ReturnWeight int
+}
+
+func (c GeneratorConfig) withDefaults() GeneratorConfig {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	if len(c.Labels) == 0 {
+		c.Labels = []string{"a", "b", "c"}
+	}
+	if c.ReturnWeight == 0 {
+		c.ReturnWeight = 1
+	}
+	return c
+}
+
+// Random generates a random program using rng. It draws leaves (call,
+// skip, return) and composites (seq, if, loop) with fixed weights, and
+// bottoms out to leaves at MaxDepth.
+func Random(rng *rand.Rand, cfg GeneratorConfig) Program {
+	cfg = cfg.withDefaults()
+	return randomAt(rng, cfg, cfg.MaxDepth)
+}
+
+func randomAt(rng *rand.Rand, cfg GeneratorConfig, depth int) Program {
+	if depth <= 0 {
+		return randomLeaf(rng, cfg)
+	}
+	switch rng.Intn(8) {
+	case 0, 1:
+		return randomLeaf(rng, cfg)
+	case 2, 3, 4:
+		return Seq{
+			First:  randomAt(rng, cfg, depth-1),
+			Second: randomAt(rng, cfg, depth-1),
+		}
+	case 5, 6:
+		return If{
+			Then: randomAt(rng, cfg, depth-1),
+			Else: randomAt(rng, cfg, depth-1),
+		}
+	default:
+		return Loop{Body: randomAt(rng, cfg, depth-1)}
+	}
+}
+
+func randomLeaf(rng *rand.Rand, cfg GeneratorConfig) Program {
+	n := rng.Intn(5 + cfg.ReturnWeight)
+	switch {
+	case n < 3:
+		return Call{Label: cfg.Labels[rng.Intn(len(cfg.Labels))]}
+	case n < 5:
+		return Skip{}
+	default:
+		return Return{}
+	}
+}

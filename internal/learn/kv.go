@@ -1,0 +1,217 @@
+package learn
+
+import (
+	"fmt"
+
+	"github.com/shelley-go/shelley/internal/automata"
+)
+
+// KearnsVazirani learns a DFA with the classification-tree algorithm of
+// Kearns & Vazirani — the second classic active-learning algorithm,
+// included alongside L* for the model-inference ablations. Instead of
+// an observation table, states are the leaves of a binary tree whose
+// internal nodes are distinguishing suffixes: sifting a word down the
+// tree (one membership query per level) locates its state, so the data
+// structure grows with the number of *distinctions* rather than
+// |S|×|E|.
+func KearnsVazirani(t Teacher, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	l := &kvLearner{
+		teacher:  t,
+		alphabet: t.Alphabet(),
+		cache:    make(map[string]bool),
+		result:   &Result{},
+	}
+	// The tree starts as a single leaf for the empty access string; the
+	// first counterexample introduces the first real distinction.
+	l.root = &kvNode{leaf: true, access: []string{}}
+	l.leaves = []*kvNode{l.root}
+
+	for round := 0; round < cfg.MaxRounds; round++ {
+		l.result.Rounds++
+		hyp := l.hypothesis()
+		l.result.EquivalenceQueries++
+		counterexample, ok := l.teacher.Equivalent(hyp)
+		if ok {
+			l.result.DFA = hyp.Minimize()
+			return l.result, nil
+		}
+		if l.member(counterexample) == hyp.Accepts(counterexample) {
+			return nil, fmt.Errorf("learn: teacher returned invalid counterexample %v", counterexample)
+		}
+		l.processCounterexample(hyp, counterexample)
+	}
+	return nil, ErrBudgetExhausted
+}
+
+type kvNode struct {
+	// Internal nodes: suffix and two children indexed by the membership
+	// of access·suffix.
+	suffix []string
+	child  [2]*kvNode
+
+	// Leaves: the state's access string.
+	leaf   bool
+	access []string
+}
+
+type kvLearner struct {
+	teacher  Teacher
+	alphabet []string
+	cache    map[string]bool
+	result   *Result
+
+	root   *kvNode
+	leaves []*kvNode
+}
+
+func (l *kvLearner) member(trace []string) bool {
+	k := traceKey(trace)
+	if v, ok := l.cache[k]; ok {
+		return v
+	}
+	v := l.teacher.Member(trace)
+	l.cache[k] = v
+	l.result.MembershipQueries++
+	return v
+}
+
+func boolIndex(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sift walks the word down the tree to its leaf, creating a fresh leaf
+// (a newly discovered state) when it falls off an absent child.
+func (l *kvLearner) sift(word []string) *kvNode {
+	n := l.root
+	for !n.leaf {
+		b := boolIndex(l.member(concat(word, n.suffix)))
+		if n.child[b] == nil {
+			leafNode := &kvNode{leaf: true, access: append([]string(nil), word...)}
+			n.child[b] = leafNode
+			l.leaves = append(l.leaves, leafNode)
+			return leafNode
+		}
+		n = n.child[b]
+	}
+	return n
+}
+
+// hypothesis sifts every one-step extension of every known state until
+// the state set is stable, then assembles the DFA.
+func (l *kvLearner) hypothesis() *automata.DFA {
+	// Sifting can add leaves; iterate until settled.
+	for {
+		before := len(l.leaves)
+		for _, leafNode := range l.leaves[:before] {
+			for _, a := range l.alphabet {
+				l.sift(concat(leafNode.access, []string{a}))
+			}
+		}
+		if len(l.leaves) == before {
+			break
+		}
+	}
+
+	d := automata.NewDFA(l.alphabet)
+	stateOf := make(map[*kvNode]int, len(l.leaves))
+	// The leaf of ε must be the start state (DFA state 0).
+	epsLeaf := l.sift(nil)
+	stateOf[epsLeaf] = d.Start()
+	d.SetAccepting(d.Start(), l.member(epsLeaf.access))
+	for _, leafNode := range l.leaves {
+		if leafNode == epsLeaf {
+			continue
+		}
+		stateOf[leafNode] = d.AddState(l.member(leafNode.access))
+	}
+	for _, leafNode := range l.leaves {
+		for _, a := range l.alphabet {
+			target := l.sift(concat(leafNode.access, []string{a}))
+			_ = d.AddTransition(stateOf[leafNode], a, stateOf[target])
+		}
+	}
+	return d
+}
+
+// processCounterexample finds (by binary search, as in Rivest–Schapire)
+// a position where the hypothesis's state abstraction disagrees with
+// the teacher, and splits the corresponding leaf with the distinguishing
+// suffix.
+func (l *kvLearner) processCounterexample(hyp *automata.DFA, w []string) {
+	accessOf := l.kvStateAccess(hyp)
+	score := func(i int) bool {
+		st := hyp.Run(w[:i])
+		return l.member(concat(accessOf[st], w[i:]))
+	}
+	lo, hi := 0, len(w)
+	want := score(0)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if score(mid) == want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// The states reached after w[:lo] and after one more step disagree
+	// under the suffix w[hi:]: split the leaf the hypothesis merged.
+	uState := hyp.Run(w[:hi])
+	u := accessOf[uState]
+	newAccess := concat(concat(accessOf[hyp.Run(w[:lo])], nil), w[lo:hi])
+	suffix := append([]string(nil), w[hi:]...)
+
+	// Find u's leaf and replace it by an internal node.
+	leafNode := l.findLeaf(u)
+	if leafNode == nil {
+		// Should not happen with a conforming teacher; fall back to a
+		// fresh sift which will place the new access string somewhere
+		// useful.
+		l.sift(newAccess)
+		return
+	}
+	oldLeaf := &kvNode{leaf: true, access: leafNode.access}
+	newLeaf := &kvNode{leaf: true, access: newAccess}
+	leafNode.leaf = false
+	leafNode.access = nil
+	leafNode.suffix = suffix
+	leafNode.child[boolIndex(l.member(concat(oldLeaf.access, suffix)))] = oldLeaf
+	leafNode.child[boolIndex(l.member(concat(newAccess, suffix)))] = newLeaf
+
+	// Refresh the leaf list: the converted node is gone, two new leaves
+	// exist.
+	var leaves []*kvNode
+	for _, lf := range l.leaves {
+		if lf != leafNode {
+			leaves = append(leaves, lf)
+		}
+	}
+	l.leaves = append(leaves, oldLeaf, newLeaf)
+}
+
+func (l *kvLearner) kvStateAccess(hyp *automata.DFA) map[int][]string {
+	out := make(map[int][]string, hyp.NumStates())
+	for _, leafNode := range l.leaves {
+		st := hyp.Run(leafNode.access)
+		if st < 0 {
+			continue
+		}
+		if _, ok := out[st]; !ok {
+			out[st] = leafNode.access
+		}
+	}
+	return out
+}
+
+func (l *kvLearner) findLeaf(access []string) *kvNode {
+	key := traceKey(access)
+	for _, lf := range l.leaves {
+		if traceKey(lf.access) == key {
+			return lf
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+func TestKVLearnsRegularLanguages(t *testing.T) {
+	corpus := []string{
+		"1",
+		"a",
+		"a*",
+		"(a . b)*",
+		"(a + b)* . a",
+		"a . (b + c)* . d",
+		"(a . b + b . a)*",
+		"(a . (b . 0 + c))* + (a . (b . 0 + c))* . a . b",
+	}
+	for _, src := range corpus {
+		t.Run(src, func(t *testing.T) {
+			target := automata.CompileMinimal(regex.MustParse(src))
+			res, err := KearnsVazirani(NewDFATeacher(target), Config{})
+			if err != nil {
+				t.Fatalf("KV: %v", err)
+			}
+			if !automata.Equivalent(res.DFA, target) {
+				t.Fatal("learned automaton differs from target")
+			}
+			if res.DFA.NumStates() > target.Minimize().NumStates() {
+				t.Errorf("learned %d states, minimal is %d",
+					res.DFA.NumStates(), target.Minimize().NumStates())
+			}
+		})
+	}
+}
+
+func TestKVEmptyAndUniversal(t *testing.T) {
+	empty := automata.NewDFA([]string{"a"})
+	res, err := KearnsVazirani(NewDFATeacher(empty), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DFA.Accepts(nil) || res.DFA.Accepts([]string{"a"}) {
+		t.Error("empty language mis-learned")
+	}
+
+	universal := automata.CompileMinimal(regex.MustParse("(a + b)*"))
+	res, err = KearnsVazirani(NewDFATeacher(universal), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DFA.Accepts([]string{"a", "b", "b"}) || !res.DFA.Accepts(nil) {
+		t.Error("universal language mis-learned")
+	}
+}
+
+func TestKVRandomTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 40; i++ {
+		r := randomRegex(rng, 3)
+		target := automata.CompileMinimal(r)
+		res, err := KearnsVazirani(NewDFATeacher(target), Config{})
+		if err != nil {
+			t.Fatalf("target %v: %v", r, err)
+		}
+		if !automata.Equivalent(res.DFA, target) {
+			t.Fatalf("target %v: wrong language", r)
+		}
+	}
+}
+
+func TestKVRecoversValveProtocol(t *testing.T) {
+	valve := readClass(t, "valve.py", "Valve")
+	teacher := NewInstanceTeacher(valve, 9)
+	res, err := KearnsVazirani(teacher, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := valve.SpecDFA("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !automata.Equivalent(res.DFA, spec) {
+		t.Error("KV-learned Valve automaton differs from the static SpecDFA")
+	}
+	t.Logf("valve via KV: %d membership, %d equivalence queries",
+		res.MembershipQueries, res.EquivalenceQueries)
+}
+
+func TestKVAgainstLStarQueryAccounting(t *testing.T) {
+	target := automata.CompileMinimal(regex.MustParse("(a . b . c . a . b)*"))
+	kv, err := KearnsVazirani(NewDFATeacher(target), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lstar, err := LStar(NewDFATeacher(target), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.MembershipQueries == 0 || lstar.MembershipQueries == 0 {
+		t.Error("query accounting broken")
+	}
+	if !automata.Equivalent(kv.DFA, lstar.DFA) {
+		t.Error("KV and L* disagree on the target")
+	}
+	t.Logf("kv: %dm/%de; lstar(rs): %dm/%de",
+		kv.MembershipQueries, kv.EquivalenceQueries,
+		lstar.MembershipQueries, lstar.EquivalenceQueries)
+}
+
+func TestKVInvalidCounterexampleDetected(t *testing.T) {
+	target := automata.CompileMinimal(regex.MustParse("a*"))
+	bad := &lyingTeacher{inner: NewDFATeacher(target)}
+	if _, err := KearnsVazirani(bad, Config{}); err == nil {
+		t.Error("lying teacher should be detected")
+	}
+}

@@ -1,0 +1,337 @@
+// Package learn implements active model inference with Angluin's L*
+// algorithm, the dynamic counterpart to the paper's static extraction:
+// where §3 infers a class's model from its code, L* infers the same
+// model by *querying a running instance* (internal/interp stands in for
+// MicroPython on a device). The learned DFA provably converges to the
+// class's specification automaton.
+//
+// Two counterexample-processing strategies are provided for the
+// ablation benchmarks: the classic Angluin strategy (add every prefix of
+// the counterexample to the access set, restoring consistency as
+// needed) and Rivest–Schapire (binary-search a single distinguishing
+// suffix).
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/shelley-go/shelley/internal/automata"
+)
+
+// Teacher answers the two query types of the L* setting.
+type Teacher interface {
+	// Alphabet returns the input alphabet, sorted.
+	Alphabet() []string
+
+	// Member reports whether the trace is in the target language.
+	Member(trace []string) bool
+
+	// Equivalent checks a hypothesis; it returns (nil, true) to accept
+	// it, or a counterexample trace on which teacher and hypothesis
+	// disagree.
+	Equivalent(hypothesis *automata.DFA) ([]string, bool)
+}
+
+// Strategy selects the counterexample-processing variant.
+type Strategy int
+
+const (
+	// ClassicAngluin adds all prefixes of a counterexample to the access
+	// set.
+	ClassicAngluin Strategy = iota + 1
+
+	// RivestSchapire binary-searches one distinguishing suffix.
+	RivestSchapire
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case ClassicAngluin:
+		return "classic"
+	case RivestSchapire:
+		return "rivest-schapire"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a learning run.
+type Result struct {
+	// DFA is the learned automaton (minimal for the target language).
+	DFA *automata.DFA
+
+	// MembershipQueries counts distinct membership queries asked.
+	MembershipQueries int
+
+	// EquivalenceQueries counts hypotheses submitted.
+	EquivalenceQueries int
+
+	// Rounds counts closedness/consistency repair iterations.
+	Rounds int
+}
+
+// Config tunes the learner.
+type Config struct {
+	// Strategy is the counterexample-processing variant; the zero value
+	// means RivestSchapire.
+	Strategy Strategy
+
+	// MaxRounds bounds the main loop as a safety net against
+	// non-conforming teachers; the zero value means 10000.
+	MaxRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == 0 {
+		c.Strategy = RivestSchapire
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 10000
+	}
+	return c
+}
+
+// ErrBudgetExhausted is returned when MaxRounds is hit, which indicates
+// an inconsistent teacher (or a bound set too low).
+var ErrBudgetExhausted = errors.New("learn: round budget exhausted")
+
+// LStar learns a DFA from the teacher.
+func LStar(t Teacher, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	l := &learner{
+		teacher:  t,
+		alphabet: t.Alphabet(),
+		cache:    make(map[string]bool),
+		result:   &Result{},
+	}
+	l.access = [][]string{{}}   // S = {ε}
+	l.suffixes = [][]string{{}} // E = {ε}
+
+	for round := 0; round < cfg.MaxRounds; round++ {
+		l.result.Rounds++
+		if l.close() {
+			continue // closedness repair changed the table; re-check
+		}
+		if cfg.Strategy == ClassicAngluin && l.restoreConsistency() {
+			continue
+		}
+		hyp := l.hypothesis()
+		l.result.EquivalenceQueries++
+		counterexample, ok := l.teacher.Equivalent(hyp)
+		if ok {
+			// The table yields the minimal *complete* DFA; trim the dead
+			// sink to match the library's partial-DFA convention.
+			l.result.DFA = hyp.Minimize()
+			return l.result, nil
+		}
+		if l.member(counterexample) == hyp.Accepts(counterexample) {
+			return nil, fmt.Errorf("learn: teacher returned invalid counterexample %v", counterexample)
+		}
+		switch cfg.Strategy {
+		case ClassicAngluin:
+			l.addAllPrefixes(counterexample)
+		default:
+			l.addDistinguishingSuffix(hyp, counterexample)
+		}
+	}
+	return nil, ErrBudgetExhausted
+}
+
+type learner struct {
+	teacher  Teacher
+	alphabet []string
+	cache    map[string]bool
+	result   *Result
+
+	access   [][]string // S, prefix-closed
+	suffixes [][]string // E, suffix set
+}
+
+func (l *learner) member(trace []string) bool {
+	k := traceKey(trace)
+	if v, ok := l.cache[k]; ok {
+		return v
+	}
+	v := l.teacher.Member(trace)
+	l.cache[k] = v
+	l.result.MembershipQueries++
+	return v
+}
+
+// row computes the observation row of a prefix.
+func (l *learner) row(prefix []string) string {
+	var b strings.Builder
+	for _, e := range l.suffixes {
+		if l.member(concat(prefix, e)) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// close repairs closedness: every one-step extension of an access string
+// must match some access row. It returns true when the table changed.
+func (l *learner) close() bool {
+	rows := make(map[string]struct{}, len(l.access))
+	for _, s := range l.access {
+		rows[l.row(s)] = struct{}{}
+	}
+	for _, s := range l.access {
+		for _, a := range l.alphabet {
+			ext := concat(s, []string{a})
+			if _, ok := rows[l.row(ext)]; !ok {
+				l.access = append(l.access, ext)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// restoreConsistency (classic L* only): if two access strings share a
+// row but their one-step extensions differ, the distinguishing suffix
+// a·e is added to E. Returns true when the table changed.
+func (l *learner) restoreConsistency() bool {
+	for i := 0; i < len(l.access); i++ {
+		for j := i + 1; j < len(l.access); j++ {
+			if l.row(l.access[i]) != l.row(l.access[j]) {
+				continue
+			}
+			for _, a := range l.alphabet {
+				exti := concat(l.access[i], []string{a})
+				extj := concat(l.access[j], []string{a})
+				for ei, e := range l.suffixes {
+					if l.member(concat(exti, e)) != l.member(concat(extj, e)) {
+						_ = ei
+						l.suffixes = append(l.suffixes, concat([]string{a}, e))
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hypothesis builds the conjectured DFA from the closed table.
+func (l *learner) hypothesis() *automata.DFA {
+	// One state per distinct row; the representative is the first access
+	// string with that row.
+	d := automata.NewDFA(l.alphabet)
+	stateOf := make(map[string]int)
+	var reps [][]string
+
+	// ε must be state 0 (the DFA's start).
+	epsRow := l.row([]string{})
+	stateOf[epsRow] = d.Start()
+	d.SetAccepting(d.Start(), l.member(nil))
+	reps = append(reps, []string{})
+
+	for _, s := range l.access {
+		r := l.row(s)
+		if _, ok := stateOf[r]; ok {
+			continue
+		}
+		id := d.AddState(l.member(s))
+		stateOf[r] = id
+		reps = append(reps, s)
+	}
+	for i, rep := range reps {
+		for _, a := range l.alphabet {
+			target := l.row(concat(rep, []string{a}))
+			if to, ok := stateOf[target]; ok {
+				_ = d.AddTransition(i, a, to)
+			}
+		}
+	}
+	return d
+}
+
+// addAllPrefixes is the classic counterexample step.
+func (l *learner) addAllPrefixes(counterexample []string) {
+	have := make(map[string]struct{}, len(l.access))
+	for _, s := range l.access {
+		have[traceKey(s)] = struct{}{}
+	}
+	for i := 1; i <= len(counterexample); i++ {
+		p := append([]string(nil), counterexample[:i]...)
+		if _, ok := have[traceKey(p)]; ok {
+			continue
+		}
+		have[traceKey(p)] = struct{}{}
+		l.access = append(l.access, p)
+	}
+}
+
+// addDistinguishingSuffix is the Rivest–Schapire step: binary-search the
+// position where the hypothesis's state abstraction stops agreeing with
+// the teacher, and add the corresponding suffix to E.
+func (l *learner) addDistinguishingSuffix(hyp *automata.DFA, counterexample []string) {
+	// accessOf maps hypothesis states to their representative access
+	// strings, reconstructed by replaying the access set.
+	accessOf := l.stateAccess(hyp)
+
+	// score(i): membership of access(state after w[:i]) · w[i:].
+	score := func(i int) bool {
+		st := hyp.Run(counterexample[:i])
+		return l.member(concat(accessOf[st], counterexample[i:]))
+	}
+	lo, hi := 0, len(counterexample)
+	want := score(0) // == member(counterexample)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if score(mid) == want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// The suffix w[hi:] distinguishes two rows the table currently
+	// merges.
+	suffix := append([]string(nil), counterexample[hi:]...)
+	for _, e := range l.suffixes {
+		if traceKey(e) == traceKey(suffix) {
+			// Already present (can happen with a stale hypothesis); fall
+			// back to the classic step to guarantee progress.
+			l.addAllPrefixes(counterexample)
+			return
+		}
+	}
+	l.suffixes = append(l.suffixes, suffix)
+}
+
+// stateAccess returns, per hypothesis state, an access string reaching
+// it.
+func (l *learner) stateAccess(hyp *automata.DFA) map[int][]string {
+	out := make(map[int][]string, hyp.NumStates())
+	for _, s := range l.access {
+		st := hyp.Run(s)
+		if st < 0 {
+			continue
+		}
+		if _, ok := out[st]; !ok {
+			out[st] = s
+		}
+	}
+	return out
+}
+
+func concat(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func traceKey(t []string) string {
+	var b strings.Builder
+	for _, s := range t {
+		b.WriteString(s)
+		b.WriteByte(0)
+	}
+	return b.String()
+}

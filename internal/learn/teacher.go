@@ -1,0 +1,147 @@
+package learn
+
+import (
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/interp"
+	"github.com/shelley-go/shelley/internal/model"
+)
+
+// DFATeacher answers queries from a known DFA, with exact equivalence
+// checking. It is the reference teacher used to validate the learner.
+type DFATeacher struct {
+	target *automata.DFA
+}
+
+var _ Teacher = (*DFATeacher)(nil)
+
+// NewDFATeacher wraps a target automaton.
+func NewDFATeacher(target *automata.DFA) *DFATeacher {
+	return &DFATeacher{target: target}
+}
+
+// Alphabet implements Teacher.
+func (t *DFATeacher) Alphabet() []string { return t.target.Alphabet() }
+
+// Member implements Teacher.
+func (t *DFATeacher) Member(trace []string) bool { return t.target.Accepts(trace) }
+
+// Equivalent implements Teacher with an exact product-construction
+// check; the returned counterexample is shortest.
+func (t *DFATeacher) Equivalent(hyp *automata.DFA) ([]string, bool) {
+	return automata.Distinguish(t.target, hyp)
+}
+
+// InstanceTeacher answers membership queries by *running* the annotated
+// class in the simulator (angelic call semantics), the way a hardware
+// harness would drive a MicroPython object. Equivalence is approximated
+// by exhaustively comparing hypothesis and system on every trace up to
+// Depth — the standard bounded substitute when no white-box model is
+// available.
+type InstanceTeacher struct {
+	class *model.Class
+	depth int
+
+	// TestedTraces counts the traces executed by equivalence queries,
+	// for the benchmark reports.
+	TestedTraces int
+}
+
+var _ Teacher = (*InstanceTeacher)(nil)
+
+// NewInstanceTeacher builds a teacher around the class. depth bounds the
+// equivalence search; it must be at least the diameter of the protocol
+// automaton for learning to be exact (the CLI uses
+// 2×(number of operations)+1 by default).
+func NewInstanceTeacher(c *model.Class, depth int) *InstanceTeacher {
+	return &InstanceTeacher{class: c, depth: depth}
+}
+
+// Alphabet implements Teacher: the class's operation names, sorted.
+func (t *InstanceTeacher) Alphabet() []string {
+	ops := t.class.OperationNames()
+	sorted := append([]string(nil), ops...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted
+}
+
+// Member implements Teacher by executing the call sequence on a fresh
+// simulated instance.
+func (t *InstanceTeacher) Member(trace []string) bool {
+	return interp.Run(t.class, trace, interp.WithAngelic())
+}
+
+// Equivalent implements Teacher by breadth-first comparison up to the
+// configured depth; the returned counterexample is shortest. Subtrees
+// where the simulated run has already died *and* the hypothesis is in a
+// dead state are pruned: no extension can disagree there, which keeps
+// the search linear in the protocol graph instead of exponential in the
+// alphabet.
+func (t *InstanceTeacher) Equivalent(hyp *automata.DFA) ([]string, bool) {
+	doomed := doomedStates(hyp)
+	frontier := [][]string{nil}
+	for depth := 0; depth <= t.depth; depth++ {
+		var next [][]string
+		for _, trace := range frontier {
+			t.TestedTraces++
+			if t.Member(trace) != hyp.Accepts(trace) {
+				return trace, false
+			}
+			if depth == t.depth {
+				continue
+			}
+			if !interp.RunPrefix(t.class, trace, interp.WithAngelic()) {
+				if st := hyp.Run(trace); st < 0 || doomed[st] {
+					continue
+				}
+			}
+			for _, a := range t.Alphabet() {
+				ext := append(append([]string{}, trace...), a)
+				next = append(next, ext)
+			}
+		}
+		frontier = next
+	}
+	return nil, true
+}
+
+// doomedStates flags hypothesis states from which no accepting state is
+// reachable; extensions through them can never flip acceptance, so the
+// equivalence search prunes them once the simulated run has died too.
+func doomedStates(d *automata.DFA) []bool {
+	n := d.NumStates()
+	radj := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for _, sym := range d.Alphabet() {
+			if to := d.Target(s, sym); to >= 0 {
+				radj[to] = append(radj[to], s)
+			}
+		}
+	}
+	live := make([]bool, n)
+	var stack []int
+	for s := 0; s < n; s++ {
+		if d.Accepting(s) {
+			live[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range radj[s] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	doomed := make([]bool, n)
+	for s := 0; s < n; s++ {
+		doomed[s] = !live[s]
+	}
+	return doomed
+}

@@ -1,0 +1,198 @@
+package learn
+
+import (
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/automata"
+)
+
+// WMethodSuite generates the Chow/Vasilevski W-method conformance test
+// suite for the specification automaton: a finite set of traces such
+// that any implementation with at most NumStates(spec)+extraStates
+// states agrees with the specification on every trace of the suite if
+// and only if it implements the same language.
+//
+// It is the classical bridge from an inferred model back to the device:
+// run the suite against an implementation (a simulator instance, or a
+// concrete pyexec device) and membership mismatches pinpoint
+// non-conformance. The suite is P · Σ^{≤extraStates} · W, where P is a
+// transition cover and W a characterization set; everything is built
+// with alphabet-ordered BFS, so suites are deterministic.
+func WMethodSuite(spec *automata.DFA, extraStates int) [][]string {
+	total := spec.Complete()
+	alphabet := total.Alphabet()
+
+	// State cover: a shortest access string per state.
+	access := stateCover(total)
+
+	// Transition cover: the state cover plus every one-step extension.
+	var cover [][]string
+	for _, p := range access {
+		cover = append(cover, p)
+		for _, a := range alphabet {
+			cover = append(cover, concat(p, []string{a}))
+		}
+	}
+
+	// Characterization set: suffixes distinguishing every state pair.
+	w := characterizationSet(total)
+
+	// Middle parts: Σ^0 ... Σ^extraStates.
+	middles := [][]string{{}}
+	frontier := [][]string{{}}
+	for i := 0; i < extraStates; i++ {
+		var next [][]string
+		for _, m := range frontier {
+			for _, a := range alphabet {
+				next = append(next, concat(m, []string{a}))
+			}
+		}
+		middles = append(middles, next...)
+		frontier = next
+	}
+
+	// Assemble and deduplicate.
+	seen := make(map[string]struct{})
+	var suite [][]string
+	add := func(t []string) {
+		k := traceKey(t)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		suite = append(suite, t)
+	}
+	for _, p := range cover {
+		for _, m := range middles {
+			for _, suffix := range w {
+				add(concat(concat(p, m), suffix))
+			}
+		}
+	}
+	sort.Slice(suite, func(i, j int) bool { return lessTrace(suite[i], suite[j]) })
+	return suite
+}
+
+// Conformance reports whether the implementation (a membership oracle)
+// agrees with the specification on every suite trace; when it does not,
+// the first disagreeing trace is returned.
+func Conformance(spec *automata.DFA, impl func([]string) bool, suite [][]string) ([]string, bool) {
+	for _, t := range suite {
+		if impl(t) != spec.Accepts(t) {
+			return t, false
+		}
+	}
+	return nil, true
+}
+
+// stateCover returns a shortest access string per reachable state of a
+// complete DFA, in BFS order from the start state.
+func stateCover(d *automata.DFA) [][]string {
+	access := make(map[int][]string, d.NumStates())
+	access[d.Start()] = []string{}
+	queue := []int{d.Start()}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, a := range d.Alphabet() {
+			t := d.Target(s, a)
+			if t < 0 {
+				continue
+			}
+			if _, seen := access[t]; seen {
+				continue
+			}
+			access[t] = concat(access[s], []string{a})
+			queue = append(queue, t)
+		}
+	}
+	states := make([]int, 0, len(access))
+	for s := range access {
+		states = append(states, s)
+	}
+	sort.Ints(states)
+	out := make([][]string, 0, len(states))
+	for _, s := range states {
+		out = append(out, access[s])
+	}
+	return out
+}
+
+// characterizationSet returns suffixes that pairwise distinguish every
+// pair of distinct-behavior states, found by BFS over state pairs. The
+// empty suffix is included when some pair differs in acceptance.
+func characterizationSet(d *automata.DFA) [][]string {
+	n := d.NumStates()
+	if n <= 1 {
+		return [][]string{{}}
+	}
+	seen := make(map[string]struct{})
+	var w [][]string
+	add := func(t []string) {
+		k := traceKey(t)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		w = append(w, t)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if suffix, ok := distinguishingSuffix(d, i, j); ok {
+				add(suffix)
+			}
+		}
+	}
+	if len(w) == 0 {
+		w = [][]string{{}}
+	}
+	return w
+}
+
+// distinguishingSuffix finds a shortest suffix on which states i and j
+// disagree, or false when they are equivalent.
+func distinguishingSuffix(d *automata.DFA, i, j int) ([]string, bool) {
+	type pair struct{ a, b int }
+	type node struct {
+		at     pair
+		suffix []string
+	}
+	start := pair{a: i, b: j}
+	visited := map[pair]struct{}{start: {}}
+	frontier := []node{{at: start}}
+	for len(frontier) > 0 {
+		var next []node
+		for _, n := range frontier {
+			if d.Accepting(n.at.a) != d.Accepting(n.at.b) {
+				return n.suffix, true
+			}
+			for _, sym := range d.Alphabet() {
+				np := pair{a: d.Target(n.at.a, sym), b: d.Target(n.at.b, sym)}
+				if np.a < 0 || np.b < 0 {
+					// Complete() input makes this unreachable; guard for
+					// totality on arbitrary DFAs.
+					continue
+				}
+				if _, ok := visited[np]; ok {
+					continue
+				}
+				visited[np] = struct{}{}
+				next = append(next, node{at: np, suffix: concat(n.suffix, []string{sym})})
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+func lessTrace(a, b []string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

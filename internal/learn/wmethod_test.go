@@ -1,0 +1,162 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/interp"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+func TestWMethodSelfConformance(t *testing.T) {
+	for _, src := range []string{"a*", "(a . b)*", "(a + b)* . a", "a . (b + c)* . d"} {
+		spec := automata.CompileMinimal(regex.MustParse(src))
+		suite := WMethodSuite(spec, 1)
+		if len(suite) == 0 {
+			t.Fatalf("%s: empty suite", src)
+		}
+		if w, ok := Conformance(spec, spec.Accepts, suite); !ok {
+			t.Errorf("%s: spec fails its own suite on %v", src, w)
+		}
+	}
+}
+
+// TestWMethodDetectsMutants: every mutated automaton within the state
+// budget is caught by some suite trace.
+func TestWMethodDetectsMutants(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	caught, total := 0, 0
+	for i := 0; i < 60; i++ {
+		r := randomRegex(rng, 3)
+		spec := automata.CompileMinimal(r)
+		if spec.NumStates() == 0 {
+			continue
+		}
+		mutant, changed := mutateDFA(rng, spec)
+		if !changed {
+			continue
+		}
+		// Only mutants that actually change the language must be caught.
+		if automata.Equivalent(spec, mutant) {
+			continue
+		}
+		total++
+		// The mutant has at most NumStates(spec)+1 states (Complete adds
+		// a sink), so extraStates=1 guarantees detection.
+		suite := WMethodSuite(spec, 1)
+		if _, ok := Conformance(spec, mutant.Accepts, suite); !ok {
+			caught++
+		}
+	}
+	if total == 0 {
+		t.Skip("no language-changing mutants generated")
+	}
+	if caught != total {
+		t.Errorf("caught %d of %d mutants", caught, total)
+	}
+}
+
+// mutateDFA flips one acceptance bit or redirects one transition.
+func mutateDFA(rng *rand.Rand, d *automata.DFA) (*automata.DFA, bool) {
+	m := d.Complete().Clone()
+	n := m.NumStates()
+	if n == 0 {
+		return m, false
+	}
+	if rng.Intn(2) == 0 {
+		s := rng.Intn(n)
+		m.SetAccepting(s, !m.Accepting(s))
+		return m, true
+	}
+	if len(m.Alphabet()) == 0 {
+		return m, false
+	}
+	s := rng.Intn(n)
+	sym := m.Alphabet()[rng.Intn(len(m.Alphabet()))]
+	_ = m.AddTransition(s, sym, rng.Intn(n))
+	return m, true
+}
+
+// TestWMethodAgainstSimulator: the Valve simulator conforms to its own
+// spec; a protocol-breaking source mutation is caught.
+func TestWMethodAgainstSimulator(t *testing.T) {
+	valve := readClass(t, "valve.py", "Valve")
+	spec, err := valve.SpecDFA("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := WMethodSuite(spec, 1)
+	impl := func(tr []string) bool { return interp.Run(valve, tr, interp.WithAngelic()) }
+	if w, ok := Conformance(spec, impl, suite); !ok {
+		t.Fatalf("valve simulator fails its own suite on %v", w)
+	}
+	t.Logf("valve suite size: %d traces", len(suite))
+}
+
+func TestWMethodCatchesProtocolMutation(t *testing.T) {
+	// A Valve whose close returns the wrong continuation set.
+	valve := readClass(t, "valve.py", "Valve")
+	spec, err := valve.SpecDFA("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutatedSrc := `
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if ok():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close", "open"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+`
+	mutated := classFromSrc(t, mutatedSrc, "Valve")
+	suite := WMethodSuite(spec, 1)
+	impl := func(tr []string) bool { return interp.Run(mutated, tr, interp.WithAngelic()) }
+	w, ok := Conformance(spec, impl, suite)
+	if ok {
+		t.Fatal("mutated valve should fail the suite")
+	}
+	// The witness exposes the illegal open-after-open.
+	if len(w) == 0 {
+		t.Errorf("witness = %v", w)
+	}
+}
+
+func TestWMethodSuiteDeterministic(t *testing.T) {
+	spec := automata.CompileMinimal(regex.MustParse("(a . b)* . a"))
+	s1 := WMethodSuite(spec, 2)
+	s2 := WMethodSuite(spec, 2)
+	if len(s1) != len(s2) {
+		t.Fatal("suite size not deterministic")
+	}
+	for i := range s1 {
+		if traceKey(s1[i]) != traceKey(s2[i]) {
+			t.Fatal("suite order not deterministic")
+		}
+	}
+}
+
+func TestWMethodSingleStateSpec(t *testing.T) {
+	spec := automata.CompileMinimal(regex.MustParse("a*"))
+	suite := WMethodSuite(spec, 0)
+	if len(suite) == 0 {
+		t.Fatal("suite empty")
+	}
+	if w, ok := Conformance(spec, spec.Accepts, suite); !ok {
+		t.Errorf("self-conformance failed on %v", w)
+	}
+}

@@ -1,0 +1,538 @@
+package lower
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/pyast"
+	"github.com/shelley-go/shelley/internal/pyparse"
+)
+
+func parseClass(t *testing.T, src, name string) *pyast.ClassDef {
+	t.Helper()
+	cls, err := pyparse.ParseClass(src, name)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cls
+}
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("read testdata: %v", err)
+	}
+	return string(b)
+}
+
+func lowerNamed(t *testing.T, cls *pyast.ClassDef, method string, tracked []string) *Method {
+	t.Helper()
+	fn := cls.Method(method)
+	if fn == nil {
+		t.Fatalf("method %s missing", method)
+	}
+	m, err := LowerMethod(fn, TrackedFields(tracked))
+	if err != nil {
+		t.Fatalf("lower %s: %v", method, err)
+	}
+	return m
+}
+
+func TestLowerValveTest(t *testing.T) {
+	cls := parseClass(t, readTestdata(t, "valve.py"), "Valve")
+	// Valve is a base class: no tracked fields, so pin calls are skips
+	// and the body reduces to a choice between the two returns.
+	m := lowerNamed(t, cls, "test", nil)
+	if got, want := m.Program.String(), "if(*) { return } else { return }"; got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+	if len(m.Exits) != 2 {
+		t.Fatalf("exits = %d, want 2", len(m.Exits))
+	}
+	if !m.Exits[0].Declared || len(m.Exits[0].Next) != 1 || m.Exits[0].Next[0] != "open" {
+		t.Errorf("exit 0 = %+v", m.Exits[0])
+	}
+	if !m.Exits[1].Declared || m.Exits[1].Next[0] != "clean" {
+		t.Errorf("exit 1 = %+v", m.Exits[1])
+	}
+	if !m.AlwaysReturns {
+		t.Error("test always returns")
+	}
+}
+
+func TestLowerBadSectorOpenA(t *testing.T) {
+	cls := parseClass(t, readTestdata(t, "badsector.py"), "BadSector")
+	m := lowerNamed(t, cls, "open_a", []string{"a", "b"})
+	want := "a.test(); if(*) { a.open(); return } else { a.clean(); return }"
+	if got := m.Program.String(); got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+	// Exit 0 continues to open_b; exit 1 ends the lifetime.
+	if len(m.Exits) != 2 {
+		t.Fatalf("exits = %+v", m.Exits)
+	}
+	if len(m.Exits[0].Next) != 1 || m.Exits[0].Next[0] != "open_b" {
+		t.Errorf("exit 0 = %+v", m.Exits[0])
+	}
+	if len(m.Exits[1].Next) != 0 || !m.Exits[1].Declared {
+		t.Errorf("exit 1 = %+v", m.Exits[1])
+	}
+	// Wait: exit 1's body is `self.a.clean(); print(...); return []`.
+	// The a.clean() call must appear before the return.
+	if !strings.Contains(m.Program.String(), "a.test()") {
+		t.Errorf("missing a.test in %q", m.Program)
+	}
+
+	// The match site over a.test with both patterns.
+	if len(m.Matches) != 1 {
+		t.Fatalf("matches = %+v", m.Matches)
+	}
+	site := m.Matches[0]
+	if site.Op != "a.test" || site.Wildcard {
+		t.Errorf("site = %+v", site)
+	}
+	if len(site.Patterns) != 2 || site.Patterns[0][0] != "open" || site.Patterns[1][0] != "clean" {
+		t.Errorf("patterns = %+v", site.Patterns)
+	}
+}
+
+func TestLowerBadSectorOpenAHasCleanCall(t *testing.T) {
+	cls := parseClass(t, readTestdata(t, "badsector.py"), "BadSector")
+	m := lowerNamed(t, cls, "open_a", []string{"a", "b"})
+	// Second case body: a.clean() then return — print() is skipped.
+	want := "a.test(); if(*) { a.open(); return } else { a.clean(); return }"
+	_ = want
+	got := m.Program.String()
+	if !strings.Contains(got, "a.clean(); return") {
+		t.Errorf("program = %q, want a.clean(); return in else branch", got)
+	}
+}
+
+func TestLowerBadSectorOpenB(t *testing.T) {
+	cls := parseClass(t, readTestdata(t, "badsector.py"), "BadSector")
+	m := lowerNamed(t, cls, "open_b", []string{"a", "b"})
+	got := m.Program.String()
+	want := "b.test(); if(*) { b.open(); a.close(); b.close(); return } else { b.clean(); a.close(); return }"
+	if got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerUntrackedFieldsAreSkips(t *testing.T) {
+	src := `class C:
+    def m(self):
+        self.log.write("hi")
+        self.helper()
+        print("x")
+        x = 1 + 2
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"dev"})
+	if got := m.Program.String(); got != "skip" {
+		t.Errorf("program = %q, want skip", got)
+	}
+	if len(m.Exits) != 0 {
+		t.Errorf("exits = %+v", m.Exits)
+	}
+	if m.AlwaysReturns {
+		t.Error("m never returns")
+	}
+}
+
+func TestLowerWhileLoop(t *testing.T) {
+	src := `class C:
+    def m(self):
+        while self.busy():
+            self.dev.step()
+        return []
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"dev"})
+	if got, want := m.Program.String(), "loop(*) { dev.step() }; return"; got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerWhileCondWithTrackedCall(t *testing.T) {
+	src := `class C:
+    def m(self):
+        while self.dev.poll():
+            self.dev.step()
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"dev"})
+	if got, want := m.Program.String(), "loop(*) { dev.poll(); dev.step() }"; got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerForLoopEvaluatesIterableOnce(t *testing.T) {
+	src := `class C:
+    def m(self):
+        for i in self.dev.items():
+            self.dev.step()
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"dev"})
+	if got, want := m.Program.String(), "dev.items(); loop(*) { dev.step() }"; got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerElifChain(t *testing.T) {
+	src := `class C:
+    def m(self):
+        if a:
+            self.d.p()
+        elif b:
+            self.d.q()
+        else:
+            self.d.r()
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	want := "if(*) { d.p() } else { if(*) { d.q() } else { d.r() } }"
+	if got := m.Program.String(); got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerIfWithoutElse(t *testing.T) {
+	src := `class C:
+    def m(self):
+        if a:
+            self.d.p()
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	want := "if(*) { d.p() } else { skip }"
+	if got := m.Program.String(); got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerAssignAndConditionCalls(t *testing.T) {
+	src := `class C:
+    def m(self):
+        x = self.d.read()
+        if self.d.check() == 1:
+            pass
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	want := "d.read(); d.check(); if(*) { skip } else { skip }"
+	if got := m.Program.String(); got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerCallArgumentsEvaluatedFirst(t *testing.T) {
+	src := `class C:
+    def m(self):
+        self.d.write(self.d.read())
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	if got, want := m.Program.String(), "d.read(); d.write()"; got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerReturnWithTrackedCallInValue(t *testing.T) {
+	src := `class C:
+    def m(self):
+        return ["n"], self.d.read()
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	if got, want := m.Program.String(), "d.read(); return"; got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+	if !m.Exits[0].HasValue || !m.Exits[0].Declared {
+		t.Errorf("exit = %+v", m.Exits[0])
+	}
+}
+
+func TestLowerBareReturn(t *testing.T) {
+	src := `class C:
+    def m(self):
+        return
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", nil)
+	if m.Exits[0].Declared {
+		t.Error("bare return should not be Declared")
+	}
+	if got, want := m.Program.String(), "return"; got != want {
+		t.Errorf("program = %q", got)
+	}
+}
+
+func TestLowerNonProtocolReturnValue(t *testing.T) {
+	src := `class C:
+    def m(self):
+        return 42
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", nil)
+	e := m.Exits[0]
+	if e.Declared || !e.HasValue {
+		t.Errorf("exit = %+v, want undeclared with value", e)
+	}
+}
+
+func TestLowerMatchWildcard(t *testing.T) {
+	src := `class C:
+    def m(self):
+        match self.d.test():
+            case ["ok"]:
+                self.d.go()
+            case _:
+                pass
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	if len(m.Matches) != 1 || !m.Matches[0].Wildcard {
+		t.Errorf("matches = %+v", m.Matches)
+	}
+	want := "d.test(); if(*) { d.go() } else { skip }"
+	if got := m.Program.String(); got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerMatchOverUntrackedSubjectNotRecorded(t *testing.T) {
+	src := `class C:
+    def m(self):
+        match self.mode:
+            case ["x"]:
+                pass
+`
+	cls := parseClass(t, src, "C")
+	m := lowerNamed(t, cls, "m", []string{"d"})
+	if len(m.Matches) != 0 {
+		t.Errorf("matches = %+v, want none", m.Matches)
+	}
+}
+
+func TestLowerBreakContinueRejected(t *testing.T) {
+	for _, kw := range []string{"break", "continue"} {
+		src := "class C:\n    def m(self):\n        while x:\n            " + kw + "\n"
+		cls := parseClass(t, src, "C")
+		if _, err := LowerMethod(cls.Method("m"), TrackedFields(nil)); err == nil {
+			t.Errorf("%s should be rejected", kw)
+		}
+	}
+}
+
+func TestLowerReachThroughSubsystemRejected(t *testing.T) {
+	src := `class C:
+    def m(self):
+        self.a.pin.on()
+`
+	cls := parseClass(t, src, "C")
+	_, err := LowerMethod(cls.Method("m"), TrackedFields([]string{"a"}))
+	if err == nil {
+		t.Fatal("reach-through call should be rejected")
+	}
+	if !strings.Contains(err.Error(), "self.a.pin.on") {
+		t.Errorf("error = %v", err)
+	}
+	// The same shape on an untracked field is fine (it's a skip).
+	_, err = LowerMethod(cls.Method("m"), TrackedFields([]string{"other"}))
+	if err != nil {
+		t.Errorf("untracked deep call should lower to skip, got %v", err)
+	}
+}
+
+func TestAlwaysReturnsAnalysis(t *testing.T) {
+	src := `class C:
+    def yes_if(self):
+        if a:
+            return ["x"]
+        else:
+            return []
+
+    def no_if(self):
+        if a:
+            return ["x"]
+
+    def yes_match(self):
+        match self.d.m():
+            case ["a"]:
+                return []
+            case _:
+                return []
+
+    def no_loop(self):
+        while a:
+            return []
+
+    def yes_tail(self):
+        self.d.m()
+        return []
+
+    def yes_elif(self):
+        if a:
+            return []
+        elif b:
+            return []
+        else:
+            return []
+`
+	cls := parseClass(t, src, "C")
+	tests := map[string]bool{
+		"yes_if":    true,
+		"no_if":     false,
+		"yes_match": true,
+		"no_loop":   false,
+		"yes_tail":  true,
+		"yes_elif":  true,
+	}
+	for name, want := range tests {
+		m := lowerNamed(t, cls, name, []string{"d"})
+		if m.AlwaysReturns != want {
+			t.Errorf("%s: AlwaysReturns = %v, want %v", name, m.AlwaysReturns, want)
+		}
+	}
+}
+
+func TestSubsystemTypes(t *testing.T) {
+	cls := parseClass(t, readTestdata(t, "badsector.py"), "BadSector")
+	types, err := SubsystemTypes(cls, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types["a"] != "Valve" || types["b"] != "Valve" {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestSubsystemTypesErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		declared []string
+	}{
+		{
+			"missing init",
+			"class C:\n    def m(self):\n        pass\n",
+			[]string{"a"},
+		},
+		{
+			"field never initialized",
+			"class C:\n    def __init__(self):\n        self.b = Valve()\n",
+			[]string{"a"},
+		},
+		{
+			"non-constructor",
+			"class C:\n    def __init__(self):\n        self.a = 42\n",
+			[]string{"a"},
+		},
+		{
+			"double init",
+			"class C:\n    def __init__(self):\n        self.a = Valve()\n        self.a = Pump()\n",
+			[]string{"a"},
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cls := parseClass(t, tt.src, "C")
+			if _, err := SubsystemTypes(cls, tt.declared); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSubsystemTypesNoSubsystems(t *testing.T) {
+	cls := parseClass(t, readTestdata(t, "valve.py"), "Valve")
+	types, err := SubsystemTypes(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 0 {
+		t.Errorf("types = %v, want empty", types)
+	}
+}
+
+func TestLowerReachThroughInArguments(t *testing.T) {
+	// A reach-through call hidden in an argument list is also rejected.
+	src := `class C:
+    def m(self):
+        self.log.write(self.a.pin.on())
+`
+	cls := parseClass(t, src, "C")
+	if _, err := LowerMethod(cls.Method("m"), TrackedFields([]string{"a"})); err == nil {
+		t.Error("reach-through in argument should be rejected")
+	}
+}
+
+func TestLowerTrackedCallsInComparisons(t *testing.T) {
+	src := `class C:
+    def m(self):
+        if self.d.read() == self.d.peek():
+            pass
+        x = not self.d.flag()
+        y = [self.d.a(), self.d.b()]
+        z = (self.d.c(), 1)
+`
+	cls := parseClass(t, src, "C")
+	m, err := LowerMethod(cls.Method("m"), TrackedFields([]string{"d"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Program.String()
+	want := "d.read(); d.peek(); if(*) { skip } else { skip }; d.flag(); d.a(); d.b(); d.c()"
+	if got != want {
+		t.Errorf("program = %q, want %q", got, want)
+	}
+}
+
+func TestLowerMatchNonListPatternsAreWildcards(t *testing.T) {
+	src := `class C:
+    def m(self):
+        match self.d.test():
+            case 5:
+                self.d.go()
+`
+	cls := parseClass(t, src, "C")
+	m, err := LowerMethod(cls.Method("m"), TrackedFields([]string{"d"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Matches) != 1 || !m.Matches[0].Wildcard {
+		t.Errorf("non-list pattern should register as wildcard: %+v", m.Matches)
+	}
+}
+
+func TestLowerDeeplyNestedMixedControlFlow(t *testing.T) {
+	src := `class C:
+    def m(self):
+        while a:
+            match self.d.poll():
+                case ["go"]:
+                    for i in items:
+                        if self.d.check():
+                            self.d.act()
+                        return ["m"]
+                case _:
+                    pass
+`
+	cls := parseClass(t, src, "C")
+	m, err := LowerMethod(cls.Method("m"), TrackedFields([]string{"d"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Exits) != 1 {
+		t.Errorf("exits = %+v", m.Exits)
+	}
+	for _, want := range []string{"loop(*)", "d.poll()", "d.check()", "d.act()", "return"} {
+		if !strings.Contains(m.Program.String(), want) {
+			t.Errorf("program %q missing %q", m.Program.String(), want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package ltlf
+
+import "testing"
+
+func BenchmarkProgress(b *testing.B) {
+	f := ToNNF(MustParse("(!a.open) W b.open"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		progress(f, "a.test")
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	f := MustParse("G (a -> X b) & (!c) W a")
+	tr := []string{"a", "b", "a", "b", "c"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(f, tr)
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	f := MustParse("(!a.open) W b.open")
+	alphabet := []string{"a.open", "a.test", "b.open", "b.test"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compile(f, alphabet)
+	}
+}

@@ -1,0 +1,95 @@
+package ltlf
+
+// Eval decides trace ⊨ f under the standard LTLf semantics, evaluated at
+// the first instant. The empty trace satisfies exactly the formulas that
+// hold vacuously: true, G/WeakNext/Release/WeakUntil obligations, and
+// negations of the rest.
+//
+// Eval is the executable specification of the logic: the DFA compiler is
+// property-tested against it on random formulas and traces.
+func Eval(f Formula, trace []string) bool {
+	return holds(f, trace, 0)
+}
+
+func holds(f Formula, t []string, i int) bool {
+	switch f := f.(type) {
+	case Tru:
+		return true
+	case Fls:
+		return false
+	case nonempty:
+		return i < len(t)
+	case Atom:
+		return i < len(t) && t[i] == f.Name
+	case Not:
+		return !holds(f.X, t, i)
+	case And:
+		for _, x := range f.Xs {
+			if !holds(x, t, i) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, x := range f.Xs {
+			if holds(x, t, i) {
+				return true
+			}
+		}
+		return false
+	case Implies:
+		return !holds(f.L, t, i) || holds(f.R, t, i)
+	case Next:
+		return i+1 < len(t) && holds(f.X, t, i+1)
+	case WeakNext:
+		return i+1 >= len(t) || holds(f.X, t, i+1)
+	case Until:
+		for j := i; j < len(t); j++ {
+			if holds(f.R, t, j) {
+				return true
+			}
+			if !holds(f.L, t, j) {
+				return false
+			}
+		}
+		return false
+	case WeakUntil:
+		// L W R = (L U R) | G L.
+		for j := i; j < len(t); j++ {
+			if holds(f.R, t, j) {
+				return true
+			}
+			if !holds(f.L, t, j) {
+				return false
+			}
+		}
+		return true // L held globally
+	case Release:
+		// L R R2: R2 must hold up to and including the first instant
+		// where L holds; if L never holds, R2 holds at every instant.
+		for j := i; j < len(t); j++ {
+			if !holds(f.R, t, j) {
+				return false
+			}
+			if holds(f.L, t, j) {
+				return true
+			}
+		}
+		return true
+	case Globally:
+		for j := i; j < len(t); j++ {
+			if !holds(f.X, t, j) {
+				return false
+			}
+		}
+		return true
+	case Finally:
+		for j := i; j < len(t); j++ {
+			if holds(f.X, t, j) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

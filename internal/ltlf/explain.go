@@ -1,0 +1,45 @@
+package ltlf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a step-by-step account of checking the formula on a
+// finite trace, using formula progression: after each event it shows the
+// residual obligation the rest of the trace must satisfy, pinpointing
+// the exact step where a violation became unavoidable (the residual
+// collapses to false) or the trailing obligation left unmet at the end.
+//
+// It turns the checker's bare counterexamples into something a person
+// can read:
+//
+//	claim: !a.open W b.open
+//	step 1: a.test   residual: !a.open W b.open
+//	step 2: a.open   residual: false
+//	VIOLATED at step 2: event "a.open" made the claim unsatisfiable
+func Explain(f Formula, trace []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "claim: %s\n", f.String())
+	residual := ToNNF(f)
+	for i, event := range trace {
+		residual = progress(residual, event)
+		fmt.Fprintf(&b, "step %d: %-10s residual: %s\n", i+1, event, displayFormula(residual))
+		if _, dead := residual.(Fls); dead || canonical(residual) == "<false>" {
+			fmt.Fprintf(&b, "VIOLATED at step %d: event %q made the claim unsatisfiable\n", i+1, event)
+			return b.String()
+		}
+	}
+	if nullable(residual) {
+		b.WriteString("HOLDS: the trace ends with every obligation discharged\n")
+	} else {
+		fmt.Fprintf(&b, "VIOLATED at trace end: obligation %s is still pending\n", displayFormula(residual))
+	}
+	return b.String()
+}
+
+// displayFormula hides the internal nonempty marker from users.
+func displayFormula(f Formula) string {
+	s := f.String()
+	return strings.ReplaceAll(s, "<nonempty>", "(trace continues)")
+}

@@ -1,0 +1,64 @@
+package ltlf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestExplainViolationMidTrace(t *testing.T) {
+	out := Explain(MustParse("(!a.open) W b.open"), []string{"a.test", "a.open", "b.open"})
+	for _, want := range []string{
+		"claim: !a.open W b.open",
+		"step 1: a.test",
+		"step 2: a.open",
+		`VIOLATED at step 2: event "a.open" made the claim unsatisfiable`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// The explanation stops at the violation.
+	if strings.Contains(out, "step 3") {
+		t.Errorf("explanation should stop at the violation:\n%s", out)
+	}
+}
+
+func TestExplainHolds(t *testing.T) {
+	out := Explain(MustParse("(!a.open) W b.open"), []string{"b.test", "b.open", "a.open"})
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("should hold:\n%s", out)
+	}
+}
+
+func TestExplainPendingObligation(t *testing.T) {
+	out := Explain(MustParse("F done"), []string{"work", "work"})
+	if !strings.Contains(out, "VIOLATED at trace end") || !strings.Contains(out, "F done") {
+		t.Errorf("pending obligation not reported:\n%s", out)
+	}
+}
+
+func TestExplainEmptyTrace(t *testing.T) {
+	if out := Explain(MustParse("G !x"), nil); !strings.Contains(out, "HOLDS") {
+		t.Errorf("G on empty trace holds:\n%s", out)
+	}
+	if out := Explain(MustParse("F x"), nil); !strings.Contains(out, "VIOLATED at trace end") {
+		t.Errorf("F on empty trace fails:\n%s", out)
+	}
+}
+
+// TestExplainVerdictMatchesEval: the explanation's verdict always
+// agrees with the evaluator.
+func TestExplainVerdictMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		f := randomFormula(rng, 3, []string{"a", "b"})
+		for _, tr := range allTraces([]string{"a", "b"}, 3) {
+			out := Explain(f, tr)
+			holds := strings.Contains(out, "HOLDS")
+			if holds != Eval(f, tr) {
+				t.Fatalf("verdict mismatch for %v on %v:\n%s", f, tr, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package ltlf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic laws of LTLf, validated against the direct evaluator on all
+// traces up to a bound. These pin down the finite-trace semantics —
+// several laws differ subtly from infinite-trace LTL (e.g. X true is
+// NOT valid on finite traces: the last instant has no successor).
+
+type formulaValue struct{ f Formula }
+
+func (formulaValue) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(formulaValue{f: randomFormula(rng, 3, []string{"a", "b"})})
+}
+
+var lawTraces = allTraces([]string{"a", "b"}, 4)
+
+func equivalentOn(f, g Formula, traces [][]string) bool {
+	for _, tr := range traces {
+		if Eval(f, tr) != Eval(g, tr) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickExpansionLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	// The one-step expansion laws hold at every *instant*, i.e. on
+	// non-empty traces; the empty trace satisfies G f but not f & N G f
+	// when f mentions an event. The compiler relies on them only when
+	// consuming an event, so restricting to non-empty traces here
+	// matches how they are used.
+	nonEmpty := lawTraces[1:]
+	checkOn := func(traces [][]string, property func(f, g Formula) (Formula, Formula)) func(formulaValue, formulaValue) bool {
+		return func(v, w formulaValue) bool {
+			lhs, rhs := property(v.f, w.f)
+			return equivalentOn(lhs, rhs, traces)
+		}
+	}
+	check := func(property func(f, g Formula) (Formula, Formula)) func(formulaValue, formulaValue) bool {
+		return checkOn(lawTraces, property)
+	}
+
+	expansionLaws := map[string]func(f, g Formula) (Formula, Formula){
+		"U expansion: f U g = g | (f & X(f U g))": func(f, g Formula) (Formula, Formula) {
+			return UntilOf(f, g), OrOf(g, AndOf(f, NextOf(UntilOf(f, g))))
+		},
+		"W expansion: f W g = g | (f & N(f W g))": func(f, g Formula) (Formula, Formula) {
+			return WeakUntilOf(f, g), OrOf(g, AndOf(f, WeakNextOf(WeakUntilOf(f, g))))
+		},
+		"R expansion: f R g = g & (f | N(f R g))": func(f, g Formula) (Formula, Formula) {
+			return ReleaseOf(f, g), AndOf(g, OrOf(f, WeakNextOf(ReleaseOf(f, g))))
+		},
+		"G expansion: G f = f & N G f": func(f, _ Formula) (Formula, Formula) {
+			return GloballyOf(f), AndOf(f, WeakNextOf(GloballyOf(f)))
+		},
+		"F expansion: F f = f | X F f": func(f, _ Formula) (Formula, Formula) {
+			return FinallyOf(f), OrOf(f, NextOf(FinallyOf(f)))
+		},
+	}
+	for name, law := range expansionLaws {
+		if err := quick.Check(checkOn(nonEmpty, law), cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+
+	laws := map[string]func(f, g Formula) (Formula, Formula){
+		"W via U and G": func(f, g Formula) (Formula, Formula) {
+			return WeakUntilOf(f, g), OrOf(UntilOf(f, g), GloballyOf(f))
+		},
+		"duality: !(f U g) = !f R !g": func(f, g Formula) (Formula, Formula) {
+			return NotOf(UntilOf(f, g)), ReleaseOf(NotOf(f), NotOf(g))
+		},
+		"duality: !G f = F !f": func(f, _ Formula) (Formula, Formula) {
+			return NotOf(GloballyOf(f)), FinallyOf(NotOf(f))
+		},
+		"duality: !X f = N !f": func(f, _ Formula) (Formula, Formula) {
+			return NotOf(NextOf(f)), WeakNextOf(NotOf(f))
+		},
+		"idempotence: G G f = G f": func(f, _ Formula) (Formula, Formula) {
+			return GloballyOf(GloballyOf(f)), GloballyOf(f)
+		},
+		"idempotence: F F f = F f": func(f, _ Formula) (Formula, Formula) {
+			return FinallyOf(FinallyOf(f)), FinallyOf(f)
+		},
+		"distribution: G(f & g) = G f & G g": func(f, g Formula) (Formula, Formula) {
+			return GloballyOf(AndOf(f, g)), AndOf(GloballyOf(f), GloballyOf(g))
+		},
+		"distribution: F(f | g) = F f | F g": func(f, g Formula) (Formula, Formula) {
+			return FinallyOf(OrOf(f, g)), OrOf(FinallyOf(f), FinallyOf(g))
+		},
+		"implication is material": func(f, g Formula) (Formula, Formula) {
+			return ImpliesOf(f, g), OrOf(NotOf(f), g)
+		},
+	}
+	for name, law := range laws {
+		if err := quick.Check(check(law), cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFiniteTraceSpecifics(t *testing.T) {
+	// X true is not valid on finite traces: it fails at the last
+	// instant (and on the empty trace).
+	if Eval(NextOf(True()), []string{"a"}) {
+		t.Error("X true must fail on a single-instant trace")
+	}
+	// N false holds only at the last instant.
+	if !Eval(WeakNextOf(False()), []string{"a"}) {
+		t.Error("N false holds exactly at the last instant")
+	}
+	if Eval(WeakNextOf(False()), []string{"a", "b"}) {
+		t.Error("N false must fail before the last instant")
+	}
+	// G false characterizes the empty trace.
+	if !Eval(GloballyOf(False()), nil) {
+		t.Error("G false holds on the empty trace")
+	}
+	if Eval(GloballyOf(False()), []string{"a"}) {
+		t.Error("G false fails on non-empty traces")
+	}
+	// "F true" characterizes non-emptiness.
+	if Eval(FinallyOf(True()), nil) {
+		t.Error("F true fails on the empty trace")
+	}
+	if !Eval(FinallyOf(True()), []string{"a"}) {
+		t.Error("F true holds on non-empty traces")
+	}
+}
+
+func TestQuickCompileAgreesWithEvalHardened(t *testing.T) {
+	// Stronger version of the compile/eval agreement, over formulas with
+	// three atoms (one outside the compile alphabet).
+	rng := rand.New(rand.NewSource(6))
+	alphabet := []string{"a", "b"}
+	traces := allTraces(alphabet, 4)
+	for i := 0; i < 150; i++ {
+		f := randomFormula(rng, 3, []string{"a", "b", "zz"})
+		d := Compile(f, alphabet)
+		for _, tr := range traces {
+			if d.Accepts(tr) != Eval(f, tr) {
+				t.Fatalf("formula %v disagrees on %v", f, tr)
+			}
+		}
+	}
+}
+
+func TestEventExclusivity(t *testing.T) {
+	// Exactly one event holds per instant, so a & b is unsatisfiable at
+	// any instant for distinct atoms.
+	f := MustParse("F (a & b)")
+	for _, tr := range lawTraces {
+		if Eval(f, tr) {
+			t.Fatalf("two distinct events can never hold together: %v", tr)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package ltlf
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a claim formula in the @claim syntax:
+//
+//	formula ::= implied
+//	implied ::= or ("->" implied)?                     right-assoc
+//	or      ::= and ("|" and)*
+//	and     ::= bintemp ("&" bintemp)*
+//	bintemp ::= unary (("U"|"W"|"R") bintemp)?         right-assoc
+//	unary   ::= ("!"|"X"|"N"|"G"|"F") unary | atomary
+//	atomary ::= "true" | "false" | ident | "(" formula ")"
+//	ident   ::= letter (letter|digit|"_"|"."|ident)*   e.g. a.open
+//
+// Single capital letters U, W, R, X, N, G, F are operators; any other
+// identifier is an atom (events are lowercase dotted names in practice,
+// e.g. "a.open" in the paper's claim "(!a.open) W b.open").
+func Parse(src string) (Formula, error) {
+	p := &fparser{toks: flex(src), src: src}
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != ftEOF {
+		return nil, fmt.Errorf("ltlf: %q: unexpected trailing input %q", src, p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and
+// constants.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type ftKind int
+
+const (
+	ftEOF ftKind = iota + 1
+	ftIdent
+	ftBang
+	ftAmp
+	ftPipe
+	ftArrow
+	ftLParen
+	ftRParen
+	ftOpU
+	ftOpW
+	ftOpR
+	ftOpX
+	ftOpN
+	ftOpG
+	ftOpF
+	ftTrue
+	ftFalse
+	ftErr
+)
+
+type ftoken struct {
+	kind ftKind
+	text string
+	pos  int
+}
+
+var ltlfOps = map[string]ftKind{
+	"U": ftOpU, "W": ftOpW, "R": ftOpR,
+	"X": ftOpX, "N": ftOpN, "G": ftOpG, "F": ftOpF,
+	"true": ftTrue, "false": ftFalse,
+}
+
+func flex(src string) []ftoken {
+	var toks []ftoken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '!':
+			toks = append(toks, ftoken{kind: ftBang, text: "!", pos: i})
+			i++
+		case c == '&':
+			i++
+			if i < len(src) && src[i] == '&' {
+				i++
+			}
+			toks = append(toks, ftoken{kind: ftAmp, text: "&", pos: i})
+		case c == '|':
+			i++
+			if i < len(src) && src[i] == '|' {
+				i++
+			}
+			toks = append(toks, ftoken{kind: ftPipe, text: "|", pos: i})
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, ftoken{kind: ftArrow, text: "->", pos: i})
+			i += 2
+		case c == '(':
+			toks = append(toks, ftoken{kind: ftLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, ftoken{kind: ftRParen, text: ")", pos: i})
+			i++
+		case isFIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isFIdentPart(src, j) {
+				j++
+			}
+			text := strings.TrimRight(src[i:j], ".")
+			j = i + len(text)
+			if op, ok := ltlfOps[text]; ok {
+				toks = append(toks, ftoken{kind: op, text: text, pos: i})
+			} else {
+				toks = append(toks, ftoken{kind: ftIdent, text: text, pos: i})
+			}
+			i = j
+		default:
+			toks = append(toks, ftoken{kind: ftErr, text: string(c), pos: i})
+			i++
+		}
+	}
+	return append(toks, ftoken{kind: ftEOF, pos: len(src)})
+}
+
+func isFIdentStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }
+
+func isFIdentPart(src string, i int) bool {
+	c := rune(src[i])
+	if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+		return true
+	}
+	if c == '.' && i+1 < len(src) {
+		n := rune(src[i+1])
+		return unicode.IsLetter(n) || unicode.IsDigit(n) || n == '_'
+	}
+	return false
+}
+
+type fparser struct {
+	toks []ftoken
+	pos  int
+	src  string
+}
+
+func (p *fparser) peek() ftoken { return p.toks[p.pos] }
+
+func (p *fparser) next() ftoken {
+	t := p.toks[p.pos]
+	if t.kind != ftEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *fparser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ltlf: %q: %s", p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *fparser) parseImplies() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == ftArrow {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return ImpliesOf(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *fparser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for p.peek().kind == ftPipe {
+		p.next()
+		f, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return OrOf(parts...), nil
+}
+
+func (p *fparser) parseAnd() (Formula, error) {
+	left, err := p.parseBinTemporal()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for p.peek().kind == ftAmp {
+		p.next()
+		f, err := p.parseBinTemporal()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return AndOf(parts...), nil
+}
+
+func (p *fparser) parseBinTemporal() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().kind {
+	case ftOpU:
+		p.next()
+		right, err := p.parseBinTemporal()
+		if err != nil {
+			return nil, err
+		}
+		return UntilOf(left, right), nil
+	case ftOpW:
+		p.next()
+		right, err := p.parseBinTemporal()
+		if err != nil {
+			return nil, err
+		}
+		return WeakUntilOf(left, right), nil
+	case ftOpR:
+		p.next()
+		right, err := p.parseBinTemporal()
+		if err != nil {
+			return nil, err
+		}
+		return ReleaseOf(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *fparser) parseUnary() (Formula, error) {
+	switch p.peek().kind {
+	case ftBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotOf(x), nil
+	case ftOpX:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NextOf(x), nil
+	case ftOpN:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return WeakNextOf(x), nil
+	case ftOpG:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return GloballyOf(x), nil
+	case ftOpF:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return FinallyOf(x), nil
+	}
+	return p.parseAtomary()
+}
+
+func (p *fparser) parseAtomary() (Formula, error) {
+	t := p.next()
+	switch t.kind {
+	case ftTrue:
+		return True(), nil
+	case ftFalse:
+		return False(), nil
+	case ftIdent:
+		return NewAtom(t.text), nil
+	case ftLParen:
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != ftRParen {
+			return nil, p.errorf("expected ')' at offset %d", closing.pos)
+		}
+		return f, nil
+	case ftEOF:
+		return nil, p.errorf("unexpected end of formula")
+	default:
+		return nil, p.errorf("unexpected token %q at offset %d", t.text, t.pos)
+	}
+}

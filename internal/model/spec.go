@@ -1,0 +1,224 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/shelley-go/shelley/internal/automata"
+)
+
+// SpecDFA builds the class's usage-protocol automaton: the language of
+// valid call sequences on one instance of the class.
+//
+// States are "just created" plus one state per operation ("the last
+// invoked operation was m"). From the start state only initial
+// operations may fire; after operation m, exactly the operations named
+// by m's return lists may fire (the union over m's exits — the runtime
+// narrows the choice by the returned value, which the §3-step-3
+// exhaustiveness check accounts for separately). A trace may stop right
+// after creation or after any final operation.
+//
+// Operation symbols are prefixed with prefix+"." when prefix is
+// non-empty, producing the qualified names ("a.test") used when the
+// class serves as a subsystem.
+func (c *Class) SpecDFA(prefix string) (*automata.DFA, error) {
+	qualify := func(op string) string {
+		if prefix == "" {
+			return op
+		}
+		return prefix + "." + op
+	}
+	alphabet := make([]string, 0, len(c.Operations))
+	for _, op := range c.Operations {
+		alphabet = append(alphabet, qualify(op.Name))
+	}
+	d := automata.NewDFA(alphabet)
+	d.SetAccepting(d.Start(), true) // creating and never using is valid
+
+	state := make(map[string]int, len(c.Operations))
+	for _, op := range c.Operations {
+		state[op.Name] = d.AddState(op.Final)
+	}
+	for _, op := range c.Operations {
+		if op.Initial {
+			if err := d.AddTransition(d.Start(), qualify(op.Name), state[op.Name]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	edges := c.ProtocolEdges()
+	for _, op := range c.Operations {
+		for _, next := range edges[op.Name] {
+			to, ok := state[next]
+			if !ok {
+				return nil, fmt.Errorf("model: operation %q returns undefined operation %q", op.Name, next)
+			}
+			if err := d.AddTransition(state[op.Name], qualify(next), to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// ProblemCode classifies a well-formedness problem.
+type ProblemCode int
+
+const (
+	// ProblemNoInitial: the class declares operations but none is
+	// initial.
+	ProblemNoInitial ProblemCode = iota + 1
+
+	// ProblemUndefinedNext: a return list names a method that is not an
+	// operation of the class.
+	ProblemUndefinedNext
+
+	// ProblemUndeclaredReturn: an operation has a bare return or a
+	// return whose first value is not a list of operation names.
+	ProblemUndeclaredReturn
+
+	// ProblemMayFallThrough: some control path exits the operation
+	// without reaching a return statement.
+	ProblemMayFallThrough
+
+	// ProblemNoReturns: the operation has no return statements at all.
+	ProblemNoReturns
+
+	// ProblemUnreachableOp: the operation can never be invoked (not
+	// initial and not named by any reachable operation's return lists).
+	ProblemUnreachableOp
+
+	// ProblemNoFinalReachable: no final operation is reachable, so no
+	// complete usage of the class exists.
+	ProblemNoFinalReachable
+)
+
+// String returns a short identifier for the code.
+func (c ProblemCode) String() string {
+	switch c {
+	case ProblemNoInitial:
+		return "NO_INITIAL_OPERATION"
+	case ProblemUndefinedNext:
+		return "UNDEFINED_NEXT_OPERATION"
+	case ProblemUndeclaredReturn:
+		return "UNDECLARED_RETURN"
+	case ProblemMayFallThrough:
+		return "MAY_FALL_THROUGH"
+	case ProblemNoReturns:
+		return "NO_RETURN_STATEMENTS"
+	case ProblemUnreachableOp:
+		return "UNREACHABLE_OPERATION"
+	case ProblemNoFinalReachable:
+		return "NO_FINAL_REACHABLE"
+	default:
+		return fmt.Sprintf("PROBLEM(%d)", int(c))
+	}
+}
+
+// Problem is one well-formedness finding.
+type Problem struct {
+	Code ProblemCode
+	// Op is the operation concerned, when applicable.
+	Op  string
+	Msg string
+}
+
+func (p Problem) String() string {
+	if p.Op == "" {
+		return fmt.Sprintf("%s: %s", p.Code, p.Msg)
+	}
+	return fmt.Sprintf("%s (operation %s): %s", p.Code, p.Op, p.Msg)
+}
+
+// Validate runs the structural part of the §3 "method invocation
+// analysis" on the class itself: definedness of return targets, presence
+// of initial operations, totality of returns, and reachability. It
+// returns every problem found, in deterministic order.
+func (c *Class) Validate() []Problem {
+	var out []Problem
+
+	initials := c.InitialOperations()
+	if len(initials) == 0 {
+		out = append(out, Problem{
+			Code: ProblemNoInitial,
+			Msg:  "declare at least one @op_initial or @op_initial_final method",
+		})
+	}
+
+	for _, op := range c.Operations {
+		if len(op.Method.Exits) == 0 {
+			out = append(out, Problem{
+				Code: ProblemNoReturns, Op: op.Name,
+				Msg: "operations must declare their continuations with return [...]",
+			})
+			continue
+		}
+		if !op.Method.AlwaysReturns {
+			out = append(out, Problem{
+				Code: ProblemMayFallThrough, Op: op.Name,
+				Msg: "some control path exits without a return statement",
+			})
+		}
+		for _, e := range op.Method.Exits {
+			if !e.Declared {
+				out = append(out, Problem{
+					Code: ProblemUndeclaredReturn, Op: op.Name,
+					Msg: fmt.Sprintf("return at %s does not declare the next operations", e.Pos),
+				})
+				continue
+			}
+			for _, next := range e.Next {
+				if c.Operation(next) == nil {
+					out = append(out, Problem{
+						Code: ProblemUndefinedNext, Op: op.Name,
+						Msg: fmt.Sprintf("return at %s names %q, which is not an operation of %s", e.Pos, next, c.Name),
+					})
+				}
+			}
+		}
+	}
+
+	// Reachability over the protocol graph, only meaningful if the
+	// structure above held together.
+	if len(initials) > 0 && !hasProblem(out, ProblemUndefinedNext) {
+		reachable := make(map[string]bool)
+		frontier := append([]string(nil), initials...)
+		edges := c.ProtocolEdges()
+		for len(frontier) > 0 {
+			m := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if reachable[m] {
+				continue
+			}
+			reachable[m] = true
+			frontier = append(frontier, edges[m]...)
+		}
+		finalReachable := false
+		for _, op := range c.Operations {
+			if !reachable[op.Name] {
+				out = append(out, Problem{
+					Code: ProblemUnreachableOp, Op: op.Name,
+					Msg: "not reachable from any initial operation",
+				})
+			}
+			if reachable[op.Name] && op.Final {
+				finalReachable = true
+			}
+		}
+		if !finalReachable {
+			out = append(out, Problem{
+				Code: ProblemNoFinalReachable,
+				Msg:  "no final operation is reachable; no complete usage of the class exists",
+			})
+		}
+	}
+	return out
+}
+
+func hasProblem(ps []Problem, code ProblemCode) bool {
+	for _, p := range ps {
+		if p.Code == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,350 @@
+// Package pyast defines the abstract syntax tree for the MicroPython
+// subset supported by Shelley (§2 of the paper): modules containing
+// decorated classes, whose decorated methods use if/elif/else,
+// match/case, for, while, return, assignments, and call expressions.
+package pyast
+
+import "github.com/shelley-go/shelley/internal/pytoken"
+
+// Node is implemented by every AST node.
+type Node interface {
+	// Pos returns the position of the node's first token.
+	Pos() pytoken.Pos
+}
+
+// Module is a parsed source file.
+type Module struct {
+	// Classes are the top-level class definitions, in source order.
+	Classes []*ClassDef
+
+	// Stmts are top-level statements other than class definitions
+	// (imports, calls, assignments); Shelley ignores them but the parser
+	// keeps them so tooling can inspect whole programs.
+	Stmts []Stmt
+}
+
+// Decorator is a class or method decorator: @name or @name(args).
+type Decorator struct {
+	// Name is the dotted decorator name (e.g. "sys", "op_initial").
+	Name string
+
+	// Args are the decorator call arguments; nil when the decorator was
+	// written without parentheses.
+	Args []Expr
+
+	// Called distinguishes @name() (true, empty Args) from @name (false).
+	Called bool
+
+	NamePos pytoken.Pos
+}
+
+// Pos implements Node.
+func (d *Decorator) Pos() pytoken.Pos { return d.NamePos }
+
+// ClassDef is a class definition with its decorators and body.
+type ClassDef struct {
+	Name       string
+	Decorators []*Decorator
+	// Bases are the base-class expressions from `class C(Base):`.
+	Bases   []Expr
+	Methods []*FuncDef
+	// Body keeps non-method statements in the class body (rare; e.g.
+	// class-level assignments), for completeness.
+	Body    []Stmt
+	NamePos pytoken.Pos
+}
+
+// Pos implements Node.
+func (c *ClassDef) Pos() pytoken.Pos { return c.NamePos }
+
+// Method returns the method with the given name, or nil.
+func (c *ClassDef) Method(name string) *FuncDef {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// FuncDef is a function or method definition.
+type FuncDef struct {
+	Name       string
+	Decorators []*Decorator
+	Params     []string
+	Body       []Stmt
+	NamePos    pytoken.Pos
+}
+
+// Pos implements Node.
+func (f *FuncDef) Pos() pytoken.Pos { return f.NamePos }
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type (
+	// ExprStmt is an expression used as a statement, e.g. a method call.
+	ExprStmt struct {
+		X Expr
+	}
+
+	// Assign is target = value (single target; chained assignment is out
+	// of the supported subset).
+	Assign struct {
+		Target Expr
+		Value  Expr
+	}
+
+	// Return is `return` with zero or more comma-separated values. Per
+	// Table 2 of the paper, the first value of an annotated method names
+	// the set of next operations and the optional second value is the
+	// user-facing return value.
+	Return struct {
+		Values    []Expr
+		ReturnPos pytoken.Pos
+	}
+
+	// If is an if/elif/else chain; Elifs are flattened in source order.
+	If struct {
+		Cond  Expr
+		Body  []Stmt
+		Elifs []ElifClause
+		Else  []Stmt
+		IfPos pytoken.Pos
+	}
+
+	// Match is a match statement with its case clauses.
+	Match struct {
+		Subject  Expr
+		Cases    []CaseClause
+		MatchPos pytoken.Pos
+	}
+
+	// While is a while loop (the else clause is out of the subset).
+	While struct {
+		Cond     Expr
+		Body     []Stmt
+		WhilePos pytoken.Pos
+	}
+
+	// For is a for loop over an iterable.
+	For struct {
+		Target Expr
+		Iter   Expr
+		Body   []Stmt
+		ForPos pytoken.Pos
+	}
+
+	// Pass is the no-op statement.
+	Pass struct {
+		PassPos pytoken.Pos
+	}
+
+	// Break exits the innermost loop.
+	Break struct {
+		BreakPos pytoken.Pos
+	}
+
+	// Continue restarts the innermost loop.
+	Continue struct {
+		ContinuePos pytoken.Pos
+	}
+
+	// Import is `import a.b` or `from a import b, c`; recorded verbatim
+	// and ignored by the analysis.
+	Import struct {
+		Text      string
+		ImportPos pytoken.Pos
+	}
+)
+
+// ElifClause is one `elif cond:` arm.
+type ElifClause struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// CaseClause is one `case pattern:` arm. The analysis understands
+// list-of-strings patterns (`case ["open"]:`) and the wildcard
+// (`case _:`); other patterns parse but verify as wildcards.
+type CaseClause struct {
+	Pattern Expr
+	Body    []Stmt
+}
+
+func (*ExprStmt) stmtNode() {}
+func (*Assign) stmtNode()   {}
+func (*Return) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*Match) stmtNode()    {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Pass) stmtNode()     {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Import) stmtNode()   {}
+
+// Pos implementations.
+func (s *ExprStmt) Pos() pytoken.Pos { return s.X.Pos() }
+func (s *Assign) Pos() pytoken.Pos   { return s.Target.Pos() }
+func (s *Return) Pos() pytoken.Pos   { return s.ReturnPos }
+func (s *If) Pos() pytoken.Pos       { return s.IfPos }
+func (s *Match) Pos() pytoken.Pos    { return s.MatchPos }
+func (s *While) Pos() pytoken.Pos    { return s.WhilePos }
+func (s *For) Pos() pytoken.Pos      { return s.ForPos }
+func (s *Pass) Pos() pytoken.Pos     { return s.PassPos }
+func (s *Break) Pos() pytoken.Pos    { return s.BreakPos }
+func (s *Continue) Pos() pytoken.Pos { return s.ContinuePos }
+func (s *Import) Pos() pytoken.Pos   { return s.ImportPos }
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+type (
+	// NameExpr is an identifier.
+	NameExpr struct {
+		Name    string
+		NamePos pytoken.Pos
+	}
+
+	// AttrExpr is value.attr (e.g. self.control, self.a.test).
+	AttrExpr struct {
+		Value Expr
+		Attr  string
+	}
+
+	// CallExpr is fn(args).
+	CallExpr struct {
+		Fn   Expr
+		Args []Expr
+	}
+
+	// ListExpr is [e1, ..., en].
+	ListExpr struct {
+		Elts []Expr
+		LPos pytoken.Pos
+	}
+
+	// TupleExpr is e1, ..., en (as in `return ["x"], 2`).
+	TupleExpr struct {
+		Elts []Expr
+	}
+
+	// StringLit is a string literal (decoded).
+	StringLit struct {
+		Value string
+		SPos  pytoken.Pos
+	}
+
+	// NumberLit is a numeric literal, kept as source text (the analysis
+	// never evaluates numbers).
+	NumberLit struct {
+		Text string
+		NPos pytoken.Pos
+	}
+
+	// BoolLit is True or False.
+	BoolLit struct {
+		Value bool
+		BPos  pytoken.Pos
+	}
+
+	// NoneLit is None.
+	NoneLit struct {
+		NPos pytoken.Pos
+	}
+
+	// WildcardExpr is the `_` pattern in case clauses.
+	WildcardExpr struct {
+		WPos pytoken.Pos
+	}
+
+	// BinOpExpr is a binary operation; Op is the operator lexeme
+	// ("==", "and", "+", ...). Conditions are erased by the analysis, so
+	// operators are untyped here.
+	BinOpExpr struct {
+		Left  Expr
+		Op    string
+		Right Expr
+	}
+
+	// UnaryExpr is a prefix operation ("not", "-").
+	UnaryExpr struct {
+		Op    string
+		X     Expr
+		OpPos pytoken.Pos
+	}
+)
+
+func (*NameExpr) exprNode()     {}
+func (*AttrExpr) exprNode()     {}
+func (*CallExpr) exprNode()     {}
+func (*ListExpr) exprNode()     {}
+func (*TupleExpr) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*NumberLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*NoneLit) exprNode()      {}
+func (*WildcardExpr) exprNode() {}
+func (*BinOpExpr) exprNode()    {}
+func (*UnaryExpr) exprNode()    {}
+
+func (e *NameExpr) Pos() pytoken.Pos { return e.NamePos }
+func (e *AttrExpr) Pos() pytoken.Pos { return e.Value.Pos() }
+func (e *CallExpr) Pos() pytoken.Pos { return e.Fn.Pos() }
+func (e *ListExpr) Pos() pytoken.Pos { return e.LPos }
+func (e *TupleExpr) Pos() pytoken.Pos {
+	if len(e.Elts) > 0 {
+		return e.Elts[0].Pos()
+	}
+	return pytoken.Pos{}
+}
+func (e *StringLit) Pos() pytoken.Pos    { return e.SPos }
+func (e *NumberLit) Pos() pytoken.Pos    { return e.NPos }
+func (e *BoolLit) Pos() pytoken.Pos      { return e.BPos }
+func (e *NoneLit) Pos() pytoken.Pos      { return e.NPos }
+func (e *WildcardExpr) Pos() pytoken.Pos { return e.WPos }
+func (e *BinOpExpr) Pos() pytoken.Pos    { return e.Left.Pos() }
+func (e *UnaryExpr) Pos() pytoken.Pos    { return e.OpPos }
+
+// DottedName flattens a Name/Attr chain into its dotted form
+// ("self.a.test") and reports whether the expression is such a chain.
+func DottedName(e Expr) (string, bool) {
+	switch e := e.(type) {
+	case *NameExpr:
+		return e.Name, true
+	case *AttrExpr:
+		prefix, ok := DottedName(e.Value)
+		if !ok {
+			return "", false
+		}
+		return prefix + "." + e.Attr, true
+	}
+	return "", false
+}
+
+// StringElements extracts the string values of a list literal whose
+// elements are all string literals, as used in `return ["open", "clean"]`
+// and `case ["open"]:`. The second result is false when e is not such a
+// list.
+func StringElements(e Expr) ([]string, bool) {
+	list, ok := e.(*ListExpr)
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, 0, len(list.Elts))
+	for _, elt := range list.Elts {
+		s, ok := elt.(*StringLit)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, s.Value)
+	}
+	return out, true
+}

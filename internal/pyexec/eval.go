@@ -1,0 +1,343 @@
+package pyexec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/shelley-go/shelley/internal/pyast"
+)
+
+// eval evaluates an expression to a value.
+func (o *Object) eval(e pyast.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *pyast.NameExpr:
+		if e.Name == "self" {
+			return nil, fmt.Errorf("'self' cannot be used as a bare value in the subset")
+		}
+		if v, ok := o.env.globals[e.Name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("undefined name %q", e.Name)
+	case *pyast.NumberLit:
+		n, err := parseInt(e.Text)
+		if err != nil {
+			return nil, err
+		}
+		return IntValue{V: n}, nil
+	case *pyast.StringLit:
+		return StringValue{V: e.Value}, nil
+	case *pyast.BoolLit:
+		return BoolValue{V: e.Value}, nil
+	case *pyast.NoneLit:
+		return NoneValue{}, nil
+	case *pyast.ListExpr:
+		elems := make([]Value, len(e.Elts))
+		for i, elt := range e.Elts {
+			v, err := o.eval(elt)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = v
+		}
+		return ListValue{Elems: elems}, nil
+	case *pyast.TupleExpr:
+		elems := make([]Value, len(e.Elts))
+		for i, elt := range e.Elts {
+			v, err := o.eval(elt)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = v
+		}
+		return TupleValue{Elems: elems}, nil
+	case *pyast.AttrExpr:
+		if base, ok := e.Value.(*pyast.NameExpr); ok && base.Name == "self" {
+			if v, ok := o.fields[e.Attr]; ok {
+				return v, nil
+			}
+			return nil, fmt.Errorf("object has no field %q", e.Attr)
+		}
+		return nil, fmt.Errorf("unsupported attribute access")
+	case *pyast.CallExpr:
+		return o.evalCall(e)
+	case *pyast.UnaryExpr:
+		v, err := o.eval(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "not":
+			return BoolValue{V: !Truthy(v)}, nil
+		case "-":
+			iv, ok := v.(IntValue)
+			if !ok {
+				return nil, fmt.Errorf("unary - needs an int, got %s", v.valueKind())
+			}
+			return IntValue{V: -iv.V}, nil
+		default:
+			return nil, fmt.Errorf("unsupported unary operator %q", e.Op)
+		}
+	case *pyast.BinOpExpr:
+		return o.evalBinOp(e)
+	case *pyast.WildcardExpr:
+		return nil, fmt.Errorf("'_' is only a pattern")
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func (o *Object) evalBinOp(e *pyast.BinOpExpr) (Value, error) {
+	// Short-circuit boolean operators evaluate lazily and return the
+	// deciding operand, like Python.
+	switch e.Op {
+	case "and":
+		l, err := o.eval(e.Left)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(l) {
+			return l, nil
+		}
+		return o.eval(e.Right)
+	case "or":
+		l, err := o.eval(e.Left)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(l) {
+			return l, nil
+		}
+		return o.eval(e.Right)
+	}
+
+	l, err := o.eval(e.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.eval(e.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "==":
+		return BoolValue{V: equal(l, r)}, nil
+	case "!=":
+		return BoolValue{V: !equal(l, r)}, nil
+	case "in":
+		list, ok := r.(ListValue)
+		if !ok {
+			return nil, fmt.Errorf("'in' needs a list, got %s", r.valueKind())
+		}
+		for _, el := range list.Elems {
+			if equal(l, el) {
+				return BoolValue{V: true}, nil
+			}
+		}
+		return BoolValue{V: false}, nil
+	case "not in":
+		inRes, err := o.evalBinOp(&pyast.BinOpExpr{Left: e.Left, Op: "in", Right: e.Right})
+		if err != nil {
+			return nil, err
+		}
+		return BoolValue{V: !Truthy(inRes)}, nil
+	case "+", "-", "*", "/", "%", "<", ">", "<=", ">=":
+		li, lok := l.(IntValue)
+		ri, rok := r.(IntValue)
+		if !lok || !rok {
+			if e.Op == "+" {
+				if ls, ok := l.(StringValue); ok {
+					if rs, ok := r.(StringValue); ok {
+						return StringValue{V: ls.V + rs.V}, nil
+					}
+				}
+			}
+			return nil, fmt.Errorf("operator %q needs ints, got %s and %s", e.Op, l.valueKind(), r.valueKind())
+		}
+		switch e.Op {
+		case "+":
+			return IntValue{V: li.V + ri.V}, nil
+		case "-":
+			return IntValue{V: li.V - ri.V}, nil
+		case "*":
+			return IntValue{V: li.V * ri.V}, nil
+		case "/":
+			if ri.V == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return IntValue{V: li.V / ri.V}, nil
+		case "%":
+			if ri.V == 0 {
+				return nil, fmt.Errorf("modulo by zero")
+			}
+			return IntValue{V: li.V % ri.V}, nil
+		case "<":
+			return BoolValue{V: li.V < ri.V}, nil
+		case ">":
+			return BoolValue{V: li.V > ri.V}, nil
+		case "<=":
+			return BoolValue{V: li.V <= ri.V}, nil
+		default:
+			return BoolValue{V: li.V >= ri.V}, nil
+		}
+	default:
+		return nil, fmt.Errorf("unsupported operator %q", e.Op)
+	}
+}
+
+func (o *Object) evalCall(e *pyast.CallExpr) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := o.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+
+	switch fn := e.Fn.(type) {
+	case *pyast.NameExpr:
+		switch fn.Name {
+		case "print":
+			return NoneValue{}, nil // side-effect free in the emulator
+		case "len":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("len takes one argument")
+			}
+			switch v := args[0].(type) {
+			case ListValue:
+				return IntValue{V: int64(len(v.Elems))}, nil
+			case StringValue:
+				return IntValue{V: int64(len(v.V))}, nil
+			default:
+				return nil, fmt.Errorf("len of %s", args[0].valueKind())
+			}
+		}
+		if builtin, ok := o.env.builtins[fn.Name]; ok {
+			return builtin(args)
+		}
+		return nil, fmt.Errorf("unknown function or constructor %q", fn.Name)
+	case *pyast.AttrExpr:
+		recv, err := o.eval(fn.Value)
+		if err != nil {
+			return nil, err
+		}
+		// Record calls on object-valued self fields ("self.a.test()" →
+		// event "a.test"), mirroring the checker's flattened traces.
+		if _, isObj := recv.(ObjectValue); isObj {
+			if base, ok := fn.Value.(*pyast.AttrExpr); ok {
+				if root, ok := base.Value.(*pyast.NameExpr); ok && root.Name == "self" {
+					o.env.events = append(o.env.events, base.Attr+"."+fn.Attr)
+				}
+			}
+		}
+		return callMethodOnValue(recv, fn.Attr, args)
+	default:
+		return nil, fmt.Errorf("unsupported call target %T", e.Fn)
+	}
+}
+
+// callMethodOnValue dispatches pin and object methods; other receivers
+// have no callable methods in the subset.
+func callMethodOnValue(recv Value, method string, args []Value) (Value, error) {
+	if obj, ok := recv.(ObjectValue); ok {
+		return callObjectMethod(obj, method, args)
+	}
+	pin, ok := recv.(PinValue)
+	if !ok {
+		return nil, fmt.Errorf("%s has no method %q", recv.valueKind(), method)
+	}
+	switch method {
+	case "on":
+		if err := pin.Pin.On(); err != nil {
+			return nil, err
+		}
+		return NoneValue{}, nil
+	case "off":
+		if err := pin.Pin.Off(); err != nil {
+			return nil, err
+		}
+		return NoneValue{}, nil
+	case "value":
+		if len(args) == 0 {
+			if pin.Pin.Value() {
+				return IntValue{V: 1}, nil
+			}
+			return IntValue{V: 0}, nil
+		}
+		// value(x) drives the pin.
+		if Truthy(args[0]) {
+			return NoneValue{}, pin.Pin.On()
+		}
+		return NoneValue{}, pin.Pin.Off()
+	default:
+		return nil, fmt.Errorf("Pin has no method %q", method)
+	}
+}
+
+// matches implements the case-pattern semantics used by the subset:
+// wildcard matches anything; list-of-strings patterns match equal
+// lists; literals match equal values.
+func (o *Object) matches(pattern pyast.Expr, subject Value) (bool, error) {
+	if _, wild := pattern.(*pyast.WildcardExpr); wild {
+		return true, nil
+	}
+	want, err := o.eval(pattern)
+	if err != nil {
+		return false, err
+	}
+	return equal(want, subject), nil
+}
+
+func equal(a, b Value) bool {
+	switch a := a.(type) {
+	case NoneValue:
+		_, ok := b.(NoneValue)
+		return ok
+	case BoolValue:
+		bb, ok := b.(BoolValue)
+		return ok && a.V == bb.V
+	case IntValue:
+		bb, ok := b.(IntValue)
+		return ok && a.V == bb.V
+	case StringValue:
+		bb, ok := b.(StringValue)
+		return ok && a.V == bb.V
+	case ListValue:
+		bb, ok := b.(ListValue)
+		if !ok || len(a.Elems) != len(bb.Elems) {
+			return false
+		}
+		for i := range a.Elems {
+			if !equal(a.Elems[i], bb.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case TupleValue:
+		bb, ok := b.(TupleValue)
+		if !ok || len(a.Elems) != len(bb.Elems) {
+			return false
+		}
+		for i := range a.Elems {
+			if !equal(a.Elems[i], bb.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case PinValue:
+		bb, ok := b.(PinValue)
+		return ok && a.Pin == bb.Pin
+	default:
+		return false
+	}
+}
+
+func parseInt(text string) (int64, error) {
+	clean := strings.ReplaceAll(text, "_", "")
+	n, err := strconv.ParseInt(clean, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unsupported numeric literal %q", text)
+	}
+	return n, nil
+}

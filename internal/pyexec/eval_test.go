@@ -1,0 +1,204 @@
+package pyexec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/hw"
+	"github.com/shelley-go/shelley/internal/pyparse"
+)
+
+// evalIn runs `return <expr>` inside a one-method class and returns the
+// value or error — a compact harness for expression-level tests.
+func evalIn(t *testing.T, expr string, setup func(*Env)) (Value, error) {
+	t.Helper()
+	src := "class C:\n    @op_initial\n    def m(self):\n        return " + expr + "\n"
+	cls, err := pyparse.ParseClass(src, "C")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	env := NewEnv(hw.NewBoard())
+	if setup != nil {
+		setup(env)
+	}
+	obj, err := NewObject(cls, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, user, err := obj.Call("m")
+	return user, err
+}
+
+func TestEvalExpressions(t *testing.T) {
+	tests := []struct {
+		expr string
+		want Value
+	}{
+		{"1 + 2 * 3", IntValue{V: 7}},
+		{"10 - 4", IntValue{V: 6}},
+		{"7 / 2", IntValue{V: 3}},
+		{"7 % 3", IntValue{V: 1}},
+		{"-5", IntValue{V: -5}},
+		{"1 < 2", BoolValue{V: true}},
+		{"2 <= 1", BoolValue{V: false}},
+		{"3 > 1", BoolValue{V: true}},
+		{"3 >= 4", BoolValue{V: false}},
+		{"1 == 1", BoolValue{V: true}},
+		{"1 != 1", BoolValue{V: false}},
+		{"not 0", BoolValue{V: true}},
+		{"True and 5", IntValue{V: 5}},
+		{"0 or 9", IntValue{V: 9}},
+		{"\"a\" + \"b\"", StringValue{V: "ab"}},
+		{"2 in [1, 2]", BoolValue{V: true}},
+		{"3 not in [1, 2]", BoolValue{V: true}},
+		{"len([1, 2, 3])", IntValue{V: 3}},
+		{"len(\"abcd\")", IntValue{V: 4}},
+		{"None", NoneValue{}},
+		{"0x10", IntValue{V: 16}},
+		{"1_000", IntValue{V: 1000}},
+	}
+	for _, tt := range tests {
+		got, err := evalIn(t, tt.expr, nil)
+		if err != nil {
+			t.Errorf("%s: %v", tt.expr, err)
+			continue
+		}
+		if !equal(got, tt.want) {
+			t.Errorf("%s = %#v, want %#v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	exprs := []string{
+		"nope",          // undefined name
+		"1 + \"a\"",     // type error
+		"\"a\" < \"b\"", // comparison needs ints
+		"-True",         // unary minus on bool
+		"1 in 2",        // in needs a list
+		"len(1)",        // len of int
+		"f(1)",          // unknown function
+		"self",          // bare self
+		"1 / 0",
+		"1 % 0",
+		"3.14", // floats unsupported
+	}
+	for _, expr := range exprs {
+		if _, err := evalIn(t, expr, nil); err == nil {
+			t.Errorf("%s: expected error", expr)
+		}
+	}
+}
+
+func TestPinValueDriveThroughValueMethod(t *testing.T) {
+	src := `class C:
+    def __init__(self):
+        self.led = Pin(3, OUT)
+
+    @op_initial
+    def m(self):
+        self.led.value(1)
+        x = self.led.value()
+        self.led.value(0)
+        return ["m"], x
+`
+	cls, err := pyparse.ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := hw.NewBoard()
+	obj, err := NewObject(cls, NewEnv(board))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, user, err := obj.Call("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv, ok := user.(IntValue); !ok || iv.V != 1 {
+		t.Errorf("read back %v, want 1", user)
+	}
+	if board.Pin(3, hw.Out).Value() {
+		t.Error("pin should be low at the end")
+	}
+	// Unknown pin method.
+	src2 := strings.Replace(src, "self.led.value(1)", "self.led.wiggle()", 1)
+	cls2, err := pyparse.ParseClass(src2, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := NewObject(cls2, NewEnv(hw.NewBoard()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := obj2.Call("m"); err == nil || !strings.Contains(err.Error(), "wiggle") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestForOverListLiteral(t *testing.T) {
+	src := `class C:
+    @op_initial
+    def m(self):
+        total = 0
+        for x in [1, 2, 3]:
+            total = total + x
+        return ["m"], total
+`
+	cls, err := pyparse.ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := NewObject(cls, NewEnv(hw.NewBoard()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, user, err := obj.Call("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv, ok := user.(IntValue); !ok || iv.V != 6 {
+		t.Errorf("total = %v", user)
+	}
+}
+
+func TestForErrors(t *testing.T) {
+	cases := []string{
+		"class C:\n    @op_initial\n    def m(self):\n        for x in 5:\n            pass\n        return []\n",
+		"class C:\n    @op_initial\n    def m(self):\n        for x in range(-1):\n            pass\n        return []\n",
+	}
+	for _, src := range cases {
+		cls, err := pyparse.ParseClass(src, "C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := NewObject(cls, NewEnv(hw.NewBoard()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := obj.Call("m"); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	kinds := map[Value]string{
+		NoneValue{}:   "None",
+		BoolValue{}:   "bool",
+		IntValue{}:    "int",
+		StringValue{}: "str",
+		PinValue{}:    "Pin",
+	}
+	for v, want := range kinds {
+		if v.valueKind() != want {
+			t.Errorf("%#v kind = %s", v, v.valueKind())
+		}
+	}
+	if (ListValue{}).valueKind() != "list" || (TupleValue{}).valueKind() != "tuple" {
+		t.Error("container kinds")
+	}
+	if (ObjectValue{}).valueKind() != "object" {
+		t.Error("object kind")
+	}
+}

@@ -1,0 +1,264 @@
+package pyparse
+
+import (
+	"github.com/shelley-go/shelley/internal/pyast"
+	"github.com/shelley-go/shelley/internal/pytoken"
+)
+
+// Expression grammar (precedence climbing, loosest first):
+//
+//	expr    ::= orExpr
+//	orExpr  ::= andExpr ("or" andExpr)*
+//	andExpr ::= notExpr ("and" notExpr)*
+//	notExpr ::= "not" notExpr | cmpExpr
+//	cmpExpr ::= addExpr (("=="|"!="|"<"|">"|"<="|">="|"in"|"not in") addExpr)*
+//	addExpr ::= mulExpr (("+"|"-") mulExpr)*
+//	mulExpr ::= unary (("*"|"/"|"%") unary)*
+//	unary   ::= "-" unary | primary
+//	primary ::= atom ("." NAME | "(" args ")")*
+//	atom    ::= NAME | NUMBER | STRING | True | False | None
+//	          | "(" expr ["," ...] ")" | "[" [exprlist] "]"
+//
+// The analysis erases condition values, so all binary operators collapse
+// into BinOpExpr with the operator lexeme kept for pretty printing only.
+
+func (p *parser) parseExpr() (pyast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (pyast.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(pytoken.KwOr) {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &pyast.BinOpExpr{Left: left, Op: "or", Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (pyast.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(pytoken.KwAnd) {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &pyast.BinOpExpr{Left: left, Op: "and", Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (pyast.Expr, error) {
+	if p.at(pytoken.KwNot) {
+		tok := p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &pyast.UnaryExpr{Op: "not", X: x, OpPos: tok.Pos}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[pytoken.Kind]string{
+	pytoken.Eq:    "==",
+	pytoken.NotEq: "!=",
+	pytoken.Lt:    "<",
+	pytoken.Gt:    ">",
+	pytoken.LtEq:  "<=",
+	pytoken.GtEq:  ">=",
+}
+
+func (p *parser) parseComparison() (pyast.Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if op, ok := comparisonOps[p.peek().Kind]; ok {
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			left = &pyast.BinOpExpr{Left: left, Op: op, Right: right}
+			continue
+		}
+		if p.at(pytoken.KwIn) {
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			left = &pyast.BinOpExpr{Left: left, Op: "in", Right: right}
+			continue
+		}
+		if p.at(pytoken.KwNot) {
+			// "not in"
+			p.next()
+			if _, err := p.expect(pytoken.KwIn); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			left = &pyast.BinOpExpr{Left: left, Op: "not in", Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseAdd() (pyast.Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case pytoken.Plus:
+			op = "+"
+		case pytoken.Minus:
+			op = "-"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &pyast.BinOpExpr{Left: left, Op: op, Right: right}
+	}
+}
+
+func (p *parser) parseMul() (pyast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case pytoken.StarTok:
+			op = "*"
+		case pytoken.Slash:
+			op = "/"
+		case pytoken.Percent:
+			op = "%"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &pyast.BinOpExpr{Left: left, Op: op, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (pyast.Expr, error) {
+	if p.at(pytoken.Minus) {
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &pyast.UnaryExpr{Op: "-", X: x, OpPos: tok.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+// parsePrimary parses an atom followed by attribute accesses and calls.
+func (p *parser) parsePrimary() (pyast.Expr, error) {
+	x, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case pytoken.Dot:
+			p.next()
+			attr, err := p.expect(pytoken.Name)
+			if err != nil {
+				return nil, err
+			}
+			x = &pyast.AttrExpr{Value: x, Attr: attr.Text}
+		case pytoken.LParen:
+			p.next()
+			args, err := p.parseExprListUntil(pytoken.RParen)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(pytoken.RParen); err != nil {
+				return nil, err
+			}
+			x = &pyast.CallExpr{Fn: x, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (pyast.Expr, error) {
+	tok := p.peek()
+	switch tok.Kind {
+	case pytoken.Name:
+		p.next()
+		return &pyast.NameExpr{Name: tok.Text, NamePos: tok.Pos}, nil
+	case pytoken.Number:
+		p.next()
+		return &pyast.NumberLit{Text: tok.Text, NPos: tok.Pos}, nil
+	case pytoken.String:
+		p.next()
+		return &pyast.StringLit{Value: tok.Text, SPos: tok.Pos}, nil
+	case pytoken.KwTrue:
+		p.next()
+		return &pyast.BoolLit{Value: true, BPos: tok.Pos}, nil
+	case pytoken.KwFalse:
+		p.next()
+		return &pyast.BoolLit{Value: false, BPos: tok.Pos}, nil
+	case pytoken.KwNone:
+		p.next()
+		return &pyast.NoneLit{NPos: tok.Pos}, nil
+	case pytoken.LParen:
+		p.next()
+		if p.accept(pytoken.RParen) {
+			return &pyast.TupleExpr{}, nil
+		}
+		elems, err := p.parseExprListUntil(pytoken.RParen)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(pytoken.RParen); err != nil {
+			return nil, err
+		}
+		if len(elems) == 1 {
+			return elems[0], nil
+		}
+		return &pyast.TupleExpr{Elts: elems}, nil
+	case pytoken.LBracket:
+		p.next()
+		elems, err := p.parseExprListUntil(pytoken.RBracket)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(pytoken.RBracket); err != nil {
+			return nil, err
+		}
+		return &pyast.ListExpr{Elts: elems, LPos: tok.Pos}, nil
+	default:
+		return nil, p.errorf("expected an expression, found %s", tok)
+	}
+}

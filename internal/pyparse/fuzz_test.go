@@ -1,0 +1,34 @@
+package pyparse
+
+import (
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/pyast"
+)
+
+// FuzzParseModule checks totality of the parser and, on success, that
+// the unparser's output re-parses (printer/parser agreement).
+func FuzzParseModule(f *testing.F) {
+	seeds := []string{
+		"",
+		"x = 1\n",
+		"@sys\nclass C:\n    @op\n    def m(self):\n        return [\"m\"]\n",
+		"class C:\n    def m(self):\n        while a:\n            for i in r():\n                pass\n",
+		"class C:\n    def m(self):\n        match self.a.t():\n            case [\"x\"]:\n                pass\n            case _:\n                pass\n",
+		"class C:\n    def m(self, a=1, b: int = 2) -> bool:\n        return [\"m\"], True\n",
+		"import machine\nfrom m import x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		mod, err := ParseModule(src)
+		if err != nil {
+			return
+		}
+		out := pyast.Unparse(mod)
+		if _, err := ParseModule(out); err != nil {
+			t.Fatalf("unparse output does not reparse: %v\ninput: %q\nunparsed:\n%s", err, src, out)
+		}
+	})
+}

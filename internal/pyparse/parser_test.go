@@ -1,0 +1,430 @@
+package pyparse
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/pyast"
+)
+
+func readTestdata(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatalf("read testdata: %v", err)
+	}
+	return string(b)
+}
+
+func TestParseValveListing(t *testing.T) {
+	cls, err := ParseClass(readTestdata(t, "valve.py"), "Valve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Decorators) != 1 || cls.Decorators[0].Name != "sys" {
+		t.Fatalf("decorators = %+v, want [@sys]", cls.Decorators)
+	}
+	if cls.Decorators[0].Called {
+		t.Error("@sys without parentheses should have Called=false")
+	}
+
+	wantMethods := []string{"__init__", "test", "open", "close", "clean"}
+	if len(cls.Methods) != len(wantMethods) {
+		t.Fatalf("methods = %d, want %d", len(cls.Methods), len(wantMethods))
+	}
+	for i, name := range wantMethods {
+		if cls.Methods[i].Name != name {
+			t.Errorf("method[%d] = %q, want %q", i, cls.Methods[i].Name, name)
+		}
+	}
+
+	test := cls.Method("test")
+	if len(test.Decorators) != 1 || test.Decorators[0].Name != "op_initial" {
+		t.Errorf("test decorators = %+v", test.Decorators)
+	}
+	ifStmt, ok := test.Body[0].(*pyast.If)
+	if !ok {
+		t.Fatalf("test body[0] is %T, want *If", test.Body[0])
+	}
+	ret, ok := ifStmt.Body[0].(*pyast.Return)
+	if !ok {
+		t.Fatalf("then-branch stmt is %T", ifStmt.Body[0])
+	}
+	labels, ok := pyast.StringElements(ret.Values[0])
+	if !ok || len(labels) != 1 || labels[0] != "open" {
+		t.Errorf("then-branch returns %v", ret.Values)
+	}
+
+	if cls.Method("nope") != nil {
+		t.Error("Method on missing name should be nil")
+	}
+}
+
+func TestParseBadSectorListing(t *testing.T) {
+	cls, err := ParseClass(readTestdata(t, "badsector.py"), "BadSector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Decorators) != 2 {
+		t.Fatalf("decorators = %+v", cls.Decorators)
+	}
+	claim := cls.Decorators[0]
+	if claim.Name != "claim" || len(claim.Args) != 1 {
+		t.Fatalf("claim decorator = %+v", claim)
+	}
+	formula, ok := claim.Args[0].(*pyast.StringLit)
+	if !ok || formula.Value != "(!a.open) W b.open" {
+		t.Errorf("claim formula = %v", claim.Args[0])
+	}
+	sys := cls.Decorators[1]
+	if sys.Name != "sys" || !sys.Called {
+		t.Fatalf("sys decorator = %+v", sys)
+	}
+	subs, ok := pyast.StringElements(sys.Args[0])
+	if !ok || len(subs) != 2 || subs[0] != "a" || subs[1] != "b" {
+		t.Errorf("subsystems = %v", sys.Args)
+	}
+
+	openA := cls.Method("open_a")
+	if openA == nil {
+		t.Fatal("open_a missing")
+	}
+	m, ok := openA.Body[0].(*pyast.Match)
+	if !ok {
+		t.Fatalf("open_a body[0] is %T", openA.Body[0])
+	}
+	if len(m.Cases) != 2 {
+		t.Fatalf("open_a has %d cases", len(m.Cases))
+	}
+	subject, ok := m.Subject.(*pyast.CallExpr)
+	if !ok {
+		t.Fatalf("match subject is %T", m.Subject)
+	}
+	if name, _ := pyast.DottedName(subject.Fn); name != "self.a.test" {
+		t.Errorf("match subject call = %q", name)
+	}
+	pat, ok := pyast.StringElements(m.Cases[0].Pattern)
+	if !ok || len(pat) != 1 || pat[0] != "open" {
+		t.Errorf("case 0 pattern = %v", m.Cases[0].Pattern)
+	}
+}
+
+func TestParseSectorListing(t *testing.T) {
+	cls, err := ParseClass(readTestdata(t, "sector.py"), "Sector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Methods) != 4 {
+		t.Fatalf("methods = %d, want 4", len(cls.Methods))
+	}
+}
+
+func TestParseInitAssignments(t *testing.T) {
+	cls, err := ParseClass(readTestdata(t, "valve.py"), "Valve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := cls.Method("__init__")
+	if len(init.Body) != 3 {
+		t.Fatalf("__init__ body = %d stmts", len(init.Body))
+	}
+	asg, ok := init.Body[0].(*pyast.Assign)
+	if !ok {
+		t.Fatalf("__init__ stmt 0 is %T", init.Body[0])
+	}
+	if name, _ := pyast.DottedName(asg.Target); name != "self.control" {
+		t.Errorf("assign target = %q", name)
+	}
+	call, ok := asg.Value.(*pyast.CallExpr)
+	if !ok {
+		t.Fatalf("assign value is %T", asg.Value)
+	}
+	if name, _ := pyast.DottedName(call.Fn); name != "Pin" {
+		t.Errorf("constructor = %q", name)
+	}
+	if len(call.Args) != 2 {
+		t.Errorf("Pin args = %d", len(call.Args))
+	}
+}
+
+func TestReturnForms(t *testing.T) {
+	// The five shapes from Table 2 of the paper.
+	src := `class C:
+    def m(self):
+        return ["close"]
+
+    def n(self):
+        return ["open", "clean"]
+
+    def o(self):
+        return ["close"], 2
+
+    def p(self):
+        return ["close"], True
+
+    def q(self):
+        return ["open", "clean"], 2
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		method     string
+		wantLabels []string
+		wantExtra  int
+	}{
+		{"m", []string{"close"}, 0},
+		{"n", []string{"open", "clean"}, 0},
+		{"o", []string{"close"}, 1},
+		{"p", []string{"close"}, 1},
+		{"q", []string{"open", "clean"}, 1},
+	}
+	for _, tt := range tests {
+		ret := cls.Method(tt.method).Body[0].(*pyast.Return)
+		if len(ret.Values) != 1+tt.wantExtra {
+			t.Errorf("%s: %d return values, want %d", tt.method, len(ret.Values), 1+tt.wantExtra)
+			continue
+		}
+		labels, ok := pyast.StringElements(ret.Values[0])
+		if !ok {
+			t.Errorf("%s: first value not a string list", tt.method)
+			continue
+		}
+		if len(labels) != len(tt.wantLabels) {
+			t.Errorf("%s: labels = %v, want %v", tt.method, labels, tt.wantLabels)
+			continue
+		}
+		for i := range labels {
+			if labels[i] != tt.wantLabels[i] {
+				t.Errorf("%s: labels = %v, want %v", tt.method, labels, tt.wantLabels)
+			}
+		}
+	}
+}
+
+func TestBareReturnAndEmptyList(t *testing.T) {
+	src := `class C:
+    def m(self):
+        return
+
+    def n(self):
+        return []
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret := cls.Method("m").Body[0].(*pyast.Return); len(ret.Values) != 0 {
+		t.Errorf("bare return has values %v", ret.Values)
+	}
+	ret := cls.Method("n").Body[0].(*pyast.Return)
+	labels, ok := pyast.StringElements(ret.Values[0])
+	if !ok || len(labels) != 0 {
+		t.Errorf("return [] parsed as %v", ret.Values)
+	}
+}
+
+func TestWhileForAndControlFlow(t *testing.T) {
+	src := `class C:
+    def m(self):
+        while self.ok():
+            self.dev.step()
+            if self.dev.hot():
+                break
+            else:
+                continue
+        for i in range(10):
+            self.dev.tick()
+        pass
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := cls.Method("m").Body
+	if _, ok := body[0].(*pyast.While); !ok {
+		t.Errorf("stmt 0 is %T, want While", body[0])
+	}
+	forStmt, ok := body[1].(*pyast.For)
+	if !ok {
+		t.Fatalf("stmt 1 is %T, want For", body[1])
+	}
+	if name, _ := pyast.DottedName(forStmt.Target); name != "i" {
+		t.Errorf("for target = %q", name)
+	}
+	if _, ok := body[2].(*pyast.Pass); !ok {
+		t.Errorf("stmt 2 is %T, want Pass", body[2])
+	}
+}
+
+func TestElifChain(t *testing.T) {
+	src := `class C:
+    def m(self):
+        if a:
+            self.x.p()
+        elif b:
+            self.x.q()
+        elif c:
+            self.x.r()
+        else:
+            self.x.s()
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifStmt := cls.Method("m").Body[0].(*pyast.If)
+	if len(ifStmt.Elifs) != 2 {
+		t.Errorf("elifs = %d, want 2", len(ifStmt.Elifs))
+	}
+	if len(ifStmt.Else) != 1 {
+		t.Errorf("else body = %d stmts, want 1", len(ifStmt.Else))
+	}
+}
+
+func TestMatchWildcard(t *testing.T) {
+	src := `class C:
+    def m(self):
+        match self.d.test():
+            case ["ok"]:
+                pass
+            case _:
+                pass
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cls.Method("m").Body[0].(*pyast.Match)
+	if _, ok := m.Cases[1].Pattern.(*pyast.WildcardExpr); !ok {
+		t.Errorf("case 1 pattern is %T, want wildcard", m.Cases[1].Pattern)
+	}
+}
+
+func TestInlineSuite(t *testing.T) {
+	src := `class C:
+    def m(self):
+        if x: return ["a"]
+        return ["b"]
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifStmt := cls.Method("m").Body[0].(*pyast.If)
+	if _, ok := ifStmt.Body[0].(*pyast.Return); !ok {
+		t.Errorf("inline suite stmt is %T", ifStmt.Body[0])
+	}
+}
+
+func TestModuleLevelStatements(t *testing.T) {
+	src := `import machine
+from machine import Pin
+
+x = 1
+
+class C:
+    def m(self):
+        pass
+`
+	mod, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Classes) != 1 {
+		t.Errorf("classes = %d", len(mod.Classes))
+	}
+	if len(mod.Stmts) != 3 {
+		t.Errorf("module stmts = %d, want 3", len(mod.Stmts))
+	}
+	if _, ok := mod.Stmts[0].(*pyast.Import); !ok {
+		t.Errorf("stmt 0 is %T, want Import", mod.Stmts[0])
+	}
+}
+
+func TestExpressionOperators(t *testing.T) {
+	src := `class C:
+    def m(self):
+        x = not a and b or c
+        y = 1 + 2 * 3 - -4
+        z = a == b != c
+        w = a in xs and b not in ys
+        t = (1, 2)
+        u = ()
+`
+	if _, err := ParseClass(src, "C"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing colon", "class C\n    pass\n"},
+		{"missing class name", "class:\n    pass\n"},
+		{"decorator before stmt", "@op\nx = 1\n"},
+		{"empty match", "class C:\n    def m(self):\n        match x:\n            pass\n"},
+		{"bad expression", "class C:\n    def m(self):\n        x = =\n"},
+		{"unclosed paren", "class C:\n    def m(self):\n        f(1\n"},
+		{"missing def after decorator in class", "class C:\n    @op\n    x = 1\n"},
+		{"class not found", ""},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseClass(tt.src, "C"); err == nil {
+				t.Errorf("expected error for %q", tt.src)
+			}
+		})
+	}
+}
+
+func TestParamDefaultsAndAnnotations(t *testing.T) {
+	src := `class C:
+    def m(self, n=3, label: str = "x") -> bool:
+        return ["a"], True
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cls.Method("m")
+	if len(m.Params) != 3 {
+		t.Errorf("params = %v", m.Params)
+	}
+}
+
+func TestSyntaxErrorMentionsPosition(t *testing.T) {
+	_, err := ParseModule("class C\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos.Line != 1 {
+		t.Errorf("error line = %d, want 1", perr.Pos.Line)
+	}
+}
+
+func TestTrailingCommas(t *testing.T) {
+	src := `class C:
+    def m(self):
+        x = f(1, 2,)
+        y = [1, 2,]
+        return ["m",]
+`
+	cls, err := ParseClass(src, "C")
+	if err != nil {
+		t.Fatalf("trailing commas should parse: %v", err)
+	}
+	ret := cls.Method("m").Body[2].(*pyast.Return)
+	labels, ok := pyast.StringElements(ret.Values[0])
+	if !ok || len(labels) != 1 || labels[0] != "m" {
+		t.Errorf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,23 @@
+package pytoken
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkTokenizeValve(b *testing.B) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "valve.py"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := string(src)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package pytoken
+
+import "testing"
+
+// FuzzTokenize drives the lexer with arbitrary inputs; run the seeds in
+// regular `go test`, or explore with `go test -fuzz=FuzzTokenize`.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"x = 1\n",
+		"@sys\nclass C:\n    def m(self):\n        return [\"a\"]\n",
+		"if x:\n    a()\nelse:\n    b()\n",
+		"s = \"esc\\n\\t\\\"q\\\"\"\n",
+		"f(1,\n  2)\n",
+		"match x:\n    case [\"a\"]:\n        pass\n",
+		"\t\tweird indent\n",
+		"0x1F + 3.14 + 1_000\n",
+		"# only a comment\n",
+		"a \\\n b\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("token stream must end in EOF: %v", toks)
+		}
+		depth := 0
+		for _, tok := range toks {
+			switch tok.Kind {
+			case Indent:
+				depth++
+			case Dedent:
+				depth--
+			}
+			if depth < 0 {
+				t.Fatal("dedent below zero")
+			}
+		}
+		if depth != 0 {
+			t.Fatal("unbalanced indentation")
+		}
+	})
+}

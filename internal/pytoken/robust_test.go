@@ -1,0 +1,104 @@
+package pytoken
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The lexer is the outermost trust boundary of the pipeline: it must
+// never panic, whatever bytes it is fed, and must always terminate with
+// either a token stream ending in EOF or an error.
+
+func TestTokenizeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		toks, err := Tokenize(string(b))
+		if err != nil {
+			continue
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("input %q: stream does not end in EOF", b)
+		}
+	}
+}
+
+func TestTokenizeNeverPanicsOnRandomASCII(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alphabet := "abc def([]){}:,.@=-><!#\"'\\\n\t 0123456789"
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(80)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		toks, err := Tokenize(b.String())
+		if err != nil {
+			continue
+		}
+		if toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("input %q: no EOF", b.String())
+		}
+	}
+}
+
+func TestTokenizeBalancedIndentation(t *testing.T) {
+	// Every successful tokenization has balanced INDENT/DEDENT.
+	rng := rand.New(rand.NewSource(3))
+	lines := []string{"if x:", "    a()", "        b()", "c()", "", "# c", "    d()"}
+	for i := 0; i < 500; i++ {
+		var b strings.Builder
+		for j := 0; j < rng.Intn(10); j++ {
+			b.WriteString(lines[rng.Intn(len(lines))])
+			b.WriteString("\n")
+		}
+		toks, err := Tokenize(b.String())
+		if err != nil {
+			continue
+		}
+		depth := 0
+		for _, tok := range toks {
+			switch tok.Kind {
+			case Indent:
+				depth++
+			case Dedent:
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("input %q: dedent below zero", b.String())
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("input %q: unbalanced indentation (%d)", b.String(), depth)
+		}
+	}
+}
+
+func TestTokenizeLongInput(t *testing.T) {
+	// A deep but balanced nesting: no quadratic blowup, no stack issues.
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString(strings.Repeat(" ", i*2))
+		b.WriteString("if x:\n")
+	}
+	b.WriteString(strings.Repeat(" ", 400))
+	b.WriteString("pass\n")
+	toks, err := Tokenize(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents := 0
+	for _, tok := range toks {
+		if tok.Kind == Indent {
+			indents++
+		}
+	}
+	if indents != 200 {
+		t.Errorf("indents = %d, want 200", indents)
+	}
+}

@@ -1,0 +1,56 @@
+package regex
+
+import "testing"
+
+var benchExpr = MustParse("(a . (b + c))* . a . b . (c + a . (b + c)* . c)")
+
+func BenchmarkDerivative(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Derivative(benchExpr, "a")
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	tr := []string{"a", "b", "a", "c", "a", "b", "c"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Match(benchExpr, tr)
+	}
+}
+
+func BenchmarkEquivalent(b *testing.B) {
+	r1 := MustParse("(a + b)*")
+	r2 := MustParse("(a* . b*)*")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Equivalent(r1, r2) {
+			b.Fatal("equal languages")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const src = "(a . (b + c))* . a . b . (c + a . (b + c)* . c)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Enumerate(benchExpr, 5)
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	raw := RawAlt(RawCat(Symbol("a"), RawCat(Symbol("b"), Empty())), RawStar(RawCat(Symbol("a"), Symbol("c"))))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simplify(raw)
+	}
+}

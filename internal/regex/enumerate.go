@@ -1,0 +1,169 @@
+package regex
+
+import "sort"
+
+// Enumerate returns every trace of L(r) whose length is at most maxLen,
+// in shortlex order (shorter traces first, ties broken lexicographically
+// by symbol). It works by breadth-first exploration of the derivative
+// automaton of r, so the cost is bounded by the number of reachable
+// derivative states times the alphabet size times maxLen — independent of
+// the (possibly infinite) language size beyond the length bound.
+//
+// Enumerate is the workhorse of the executable soundness/completeness
+// tests (Theorems 1 and 2): both the trace semantics and the inferred
+// expression are enumerated up to a bound and compared as sets.
+func Enumerate(r Regex, maxLen int) [][]string {
+	alphabet := Alphabet(r)
+	var out [][]string
+
+	type node struct {
+		r     Regex
+		trace []string
+	}
+	frontier := []node{{r: r, trace: nil}}
+	for depth := 0; depth <= maxLen; depth++ {
+		// Collect accepting prefixes at this depth.
+		for _, n := range frontier {
+			if Nullable(n.r) {
+				out = append(out, n.trace)
+			}
+		}
+		if depth == maxLen {
+			break
+		}
+		next := make([]node, 0, len(frontier))
+		for _, n := range frontier {
+			for _, f := range alphabet {
+				d := Derivative(n.r, f)
+				if IsEmptyLanguage(d) {
+					continue
+				}
+				trace := make([]string, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = f
+				next = append(next, node{r: d, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	sortTraces(out)
+	return out
+}
+
+// CountAtMost returns the number of distinct traces in L(r) of length at
+// most maxLen, without materializing them. It deduplicates by derivative
+// state counting paths in the determinized automaton.
+func CountAtMost(r Regex, maxLen int) int {
+	alphabet := Alphabet(r)
+	// current maps derivative-state key -> (expression, number of distinct
+	// traces of the current length reaching it).
+	type entry struct {
+		r Regex
+		n int
+	}
+	current := map[string]entry{Key(r): {r: r, n: 1}}
+	total := 0
+	for depth := 0; ; depth++ {
+		for _, e := range current {
+			if Nullable(e.r) {
+				total += e.n
+			}
+		}
+		if depth == maxLen {
+			return total
+		}
+		next := make(map[string]entry, len(current))
+		for _, e := range current {
+			for _, f := range alphabet {
+				d := Derivative(e.r, f)
+				if IsEmptyLanguage(d) {
+					continue
+				}
+				k := Key(d)
+				ne := next[k]
+				ne.r = d
+				ne.n += e.n
+				next[k] = ne
+			}
+		}
+		if len(next) == 0 {
+			return total
+		}
+		current = next
+	}
+}
+
+// ShortestTrace returns a shortest member of L(r) and true, or nil and
+// false when L(r) is empty. Among traces of minimal length it returns the
+// lexicographically least one, making counterexample output deterministic.
+func ShortestTrace(r Regex) ([]string, bool) {
+	alphabet := Alphabet(r)
+	type node struct {
+		r     Regex
+		trace []string
+	}
+	visited := map[string]struct{}{Key(r): {}}
+	frontier := []node{{r: r}}
+	for len(frontier) > 0 {
+		var next []node
+		for _, n := range frontier {
+			if Nullable(n.r) {
+				return n.trace, true
+			}
+			for _, f := range alphabet {
+				d := Derivative(n.r, f)
+				if IsEmptyLanguage(d) {
+					continue
+				}
+				k := Key(d)
+				if _, ok := visited[k]; ok {
+					continue
+				}
+				visited[k] = struct{}{}
+				trace := make([]string, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = f
+				next = append(next, node{r: d, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+// sortTraces orders traces in shortlex order.
+func sortTraces(ts [][]string) {
+	sort.Slice(ts, func(i, j int) bool { return lessTrace(ts[i], ts[j]) })
+}
+
+func lessTrace(a, b []string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TraceSet builds a set keyed by an unambiguous encoding of each trace.
+// It is shared by the theorem tests to compare enumerations.
+func TraceSet(ts [][]string) map[string]struct{} {
+	set := make(map[string]struct{}, len(ts))
+	for _, t := range ts {
+		set[TraceKey(t)] = struct{}{}
+	}
+	return set
+}
+
+// TraceKey encodes a trace unambiguously (symbols may contain any
+// character except the NUL separator used here).
+func TraceKey(t []string) string {
+	key := ""
+	for _, f := range t {
+		key += f + "\x00"
+	}
+	return key
+}

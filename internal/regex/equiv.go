@@ -1,0 +1,124 @@
+package regex
+
+// Language equivalence and inclusion, decided by bisimulation over
+// Brzozowski derivatives (Hopcroft–Karp style union–find on pairs).
+//
+// Because the smart constructors normalize modulo associativity,
+// commutativity, and idempotence of +, the set of derivatives of an
+// expression is finite, so the pair exploration below terminates.
+
+// Equivalent reports whether L(a) = L(b).
+func Equivalent(a, b Regex) bool {
+	_, eq := Distinguish(a, b)
+	return eq
+}
+
+// Distinguish returns (nil, true) when L(a) = L(b); otherwise it returns
+// a shortest trace on which the two languages disagree and false. Among
+// shortest distinguishing traces the lexicographically least is returned,
+// so output is deterministic.
+func Distinguish(a, b Regex) ([]string, bool) {
+	alphabet := unionAlphabet(a, b)
+
+	type pair struct {
+		a, b  Regex
+		trace []string
+	}
+	seen := map[string]struct{}{pairKey(a, b): {}}
+	frontier := []pair{{a: a, b: b}}
+	for len(frontier) > 0 {
+		var next []pair
+		for _, p := range frontier {
+			if Nullable(p.a) != Nullable(p.b) {
+				return p.trace, false
+			}
+			for _, f := range alphabet {
+				da, db := Derivative(p.a, f), Derivative(p.b, f)
+				if IsEmptyLanguage(da) && IsEmptyLanguage(db) {
+					continue
+				}
+				k := pairKey(da, db)
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				trace := make([]string, len(p.trace)+1)
+				copy(trace, p.trace)
+				trace[len(p.trace)] = f
+				next = append(next, pair{a: da, b: db, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	return nil, true
+}
+
+// Subset reports whether L(a) ⊆ L(b).
+func Subset(a, b Regex) bool {
+	_, ok := CounterexampleSubset(a, b)
+	return ok
+}
+
+// CounterexampleSubset returns (nil, true) when L(a) ⊆ L(b); otherwise it
+// returns a shortest trace in L(a) \ L(b) and false.
+func CounterexampleSubset(a, b Regex) ([]string, bool) {
+	alphabet := unionAlphabet(a, b)
+
+	type pair struct {
+		a, b  Regex
+		trace []string
+	}
+	seen := map[string]struct{}{pairKey(a, b): {}}
+	frontier := []pair{{a: a, b: b}}
+	for len(frontier) > 0 {
+		var next []pair
+		for _, p := range frontier {
+			if Nullable(p.a) && !Nullable(p.b) {
+				return p.trace, false
+			}
+			for _, f := range alphabet {
+				da := Derivative(p.a, f)
+				if IsEmptyLanguage(da) {
+					// Nothing in L(a) continues this way; inclusion
+					// cannot fail down this branch.
+					continue
+				}
+				db := Derivative(p.b, f)
+				k := pairKey(da, db)
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				trace := make([]string, len(p.trace)+1)
+				copy(trace, p.trace)
+				trace[len(p.trace)] = f
+				next = append(next, pair{a: da, b: db, trace: trace})
+			}
+		}
+		frontier = next
+	}
+	return nil, true
+}
+
+func pairKey(a, b Regex) string { return Key(a) + "|" + Key(b) }
+
+func unionAlphabet(a, b Regex) []string {
+	set := make(map[string]struct{})
+	collectAlphabet(a, set)
+	collectAlphabet(b, set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(ss []string) {
+	// Insertion sort: alphabets are tiny (method names of one class).
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package regex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression in the concrete syntax produced by String:
+//
+//	expr   ::= term ("+" term)*          union
+//	term   ::= factor ("." factor)*      concatenation (explicit dot)
+//	factor ::= atom "*"*                 Kleene star (postfix)
+//	atom   ::= "0" | "1" | ident | "(" expr ")"
+//	ident  ::= letter (letter | digit | "_" | "." )*   method labels, e.g. a.open
+//
+// "0" denotes ∅ and "1" denotes ε. An identifier may contain dots (as in
+// the qualified operation name "a.open"); the concatenation operator dot
+// must therefore be surrounded by whitespace or parentheses boundaries to
+// be recognized as an operator — exactly the format String emits (" . ").
+func Parse(src string) (Regex, error) {
+	p := &parser{toks: lex(src), src: src}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("regex %q: unexpected trailing input at %q", src, p.peek().text)
+	}
+	return r, nil
+}
+
+// MustParse is Parse for test expectations and package-internal constants;
+// it panics on malformed input.
+func MustParse(src string) Regex {
+	r, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokZero
+	tokOne
+	tokPlus
+	tokDot
+	tokStar
+	tokLParen
+	tokRParen
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, text: "+", pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tokStar, text: "*", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case c == '0' && !followsIdentChar(src, i):
+			toks = append(toks, token{kind: tokZero, text: "0", pos: i})
+			i++
+		case c == '1' && !followsIdentChar(src, i):
+			toks = append(toks, token{kind: tokOne, text: "1", pos: i})
+			i++
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(src, j) {
+				j++
+			}
+			// Trim a trailing dot: "a.open." parses as ident "a.open"
+			// followed by the dot operator.
+			text := src[i:j]
+			trimmed := strings.TrimRight(text, ".")
+			j -= len(text) - len(trimmed)
+			toks = append(toks, token{kind: tokIdent, text: trimmed, pos: i})
+			i = j
+		default:
+			toks = append(toks, token{kind: tokErr, text: string(c), pos: i})
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks
+}
+
+func isIdentStart(c rune) bool { return unicode.IsLetter(c) || c == '_' }
+
+// isIdentPart treats an interior dot as part of the identifier only when
+// it is immediately followed by another identifier character ("a.open"),
+// so that "a . b" lexes as ident, dot-operator, ident.
+func isIdentPart(src string, i int) bool {
+	c := rune(src[i])
+	if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+		return true
+	}
+	if c == '.' && i+1 < len(src) {
+		n := rune(src[i+1])
+		return unicode.IsLetter(n) || unicode.IsDigit(n) || n == '_'
+	}
+	return false
+}
+
+func followsIdentChar(src string, i int) bool {
+	if i+1 >= len(src) {
+		return false
+	}
+	n := rune(src[i+1])
+	return unicode.IsLetter(n) || unicode.IsDigit(n) || n == '_' || n == '.'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) parseExpr() (Regex, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Regex{first}
+	for p.peek().kind == tokPlus {
+		p.next()
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, t)
+	}
+	return Union(parts...), nil
+}
+
+func (p *parser) parseTerm() (Regex, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Regex{first}
+	for {
+		switch p.peek().kind {
+		case tokDot:
+			p.next()
+			f, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, f)
+		case tokIdent, tokZero, tokOne, tokLParen:
+			// Juxtaposition also concatenates: "a b" == "a . b".
+			f, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, f)
+		default:
+			return Concat(parts...), nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (Regex, error) {
+	a, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokStar {
+		p.next()
+		a = Star(a)
+	}
+	return a, nil
+}
+
+func (p *parser) parseAtom() (Regex, error) {
+	t := p.next()
+	switch t.kind {
+	case tokZero:
+		return Empty(), nil
+	case tokOne:
+		return Epsilon(), nil
+	case tokIdent:
+		return Symbol(t.text), nil
+	case tokLParen:
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != tokRParen {
+			return nil, fmt.Errorf("regex %q: expected ')' at offset %d, found %q", p.src, closing.pos, closing.text)
+		}
+		return inner, nil
+	case tokEOF:
+		return nil, fmt.Errorf("regex %q: unexpected end of input", p.src)
+	default:
+		return nil, fmt.Errorf("regex %q: unexpected token %q at offset %d", p.src, t.text, t.pos)
+	}
+}

@@ -1,0 +1,63 @@
+package regex
+
+// Raw constructors build expression nodes without any normalization.
+//
+// The behavior-inference function ⟦p⟧ of the paper (internal/core) is a
+// purely syntactic definition: for instance ⟦return⟧ contributes a ∅
+// factor, so ⟦if(★){b(); return}else{c()}⟧ literally produces (b·∅)+c.
+// To reproduce the paper's Example 3 output verbatim, inference builds
+// raw nodes and leaves simplification as a separate, optional pass
+// (Simplify). All algorithms in this package (Nullable, Derivative,
+// Enumerate, Equivalent, ...) are defined structurally and remain correct
+// on raw trees; derivatives rebuild their results through the smart
+// constructors, so the derivative state space stays finite either way.
+
+// RawCat builds the node a·b verbatim, flattening nothing.
+func RawCat(a, b Regex) Regex { return Cat{Parts: []Regex{a, b}} }
+
+// RawAlt builds the node a+b verbatim, preserving operand order.
+func RawAlt(a, b Regex) Regex { return Alt{Parts: []Regex{a, b}} }
+
+// RawStar builds the node r* verbatim.
+func RawStar(r Regex) Regex { return Rep{Inner: r} }
+
+// RawAlts folds rs into a right-nested raw union r1+(r2+(...)). With no
+// arguments it returns ∅ and with one argument it returns it unchanged.
+func RawAlts(rs ...Regex) Regex {
+	switch len(rs) {
+	case 0:
+		return Empty()
+	case 1:
+		return rs[0]
+	}
+	out := rs[len(rs)-1]
+	for i := len(rs) - 2; i >= 0; i-- {
+		out = RawAlt(rs[i], out)
+	}
+	return out
+}
+
+// Simplify rebuilds r bottom-up through the smart constructors, putting
+// it into the package normal form (flattened, ∅/ε laws applied, unions
+// sorted and deduplicated). L(Simplify(r)) = L(r).
+func Simplify(r Regex) Regex {
+	switch r := r.(type) {
+	case EmptySet, EmptyString, Sym:
+		return r
+	case Cat:
+		parts := make([]Regex, len(r.Parts))
+		for i, p := range r.Parts {
+			parts[i] = Simplify(p)
+		}
+		return Concat(parts...)
+	case Alt:
+		parts := make([]Regex, len(r.Parts))
+		for i, p := range r.Parts {
+			parts[i] = Simplify(p)
+		}
+		return Union(parts...)
+	case Rep:
+		return Star(Simplify(r.Inner))
+	}
+	return r
+}

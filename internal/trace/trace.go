@@ -1,0 +1,297 @@
+// Package trace implements the paper's trace semantics (Fig. 4) as an
+// executable decision procedure and a bounded enumerator.
+//
+// The judgment s ⊢ l ∈ p states that program p can output the trace l —
+// a sequence of call labels — ending in status s, where s is either
+// Ongoing (the paper's 0: the computation may be sequenced further) or
+// Returned (the paper's R: a `return` was executed, so nothing may
+// follow). The semantics is nondeterministic: conditions are erased, so
+// both branches of `if` contribute traces, and a loop contributes any
+// number of iterations of its body.
+//
+// This package is the ground truth against which the behavior inference
+// (internal/core) is tested: Theorems 1 and 2 of the paper state that the
+// inferred regular expression denotes exactly L(p) = { l | s ⊢ l ∈ p }.
+package trace
+
+import (
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/ir"
+)
+
+// Status is the derivation status of a trace.
+type Status int
+
+const (
+	// Ongoing is the paper's status 0: no return executed yet; the trace
+	// can be extended by sequencing.
+	Ongoing Status = iota + 1
+
+	// Returned is the paper's status R: a return was executed; the trace
+	// is complete and nothing can follow it.
+	Returned
+)
+
+// String returns the paper's notation for the status.
+func (s Status) String() string {
+	switch s {
+	case Ongoing:
+		return "0"
+	case Returned:
+		return "R"
+	default:
+		return "?"
+	}
+}
+
+// In decides the judgment s ⊢ l ∈ p by structural recursion over the
+// derivation rules of Fig. 4. It terminates because every recursive call
+// either descends into a strict subprogram or (rule LOOP-3) keeps the
+// program but strictly shortens the trace.
+func In(s Status, l []string, p ir.Program) bool {
+	switch p := p.(type) {
+	case ir.Call:
+		// Rule CALL: 0 ⊢ [f] ∈ f().
+		return s == Ongoing && len(l) == 1 && l[0] == p.Label
+	case ir.Skip:
+		// Rule SKIP: 0 ⊢ [] ∈ skip.
+		return s == Ongoing && len(l) == 0
+	case ir.Return:
+		// Rule RETURN: R ⊢ [] ∈ return.
+		return s == Returned && len(l) == 0
+	case ir.Seq:
+		// Rule SEQ-1: an early return of p1 short-circuits p2.
+		if s == Returned && In(Returned, l, p.First) {
+			return true
+		}
+		// Rule SEQ-2: l = l1·l2 with 0 ⊢ l1 ∈ p1 and s ⊢ l2 ∈ p2.
+		for i := 0; i <= len(l); i++ {
+			if In(Ongoing, l[:i], p.First) && In(s, l[i:], p.Second) {
+				return true
+			}
+		}
+		return false
+	case ir.If:
+		// Rules IF-1 and IF-2.
+		return In(s, l, p.Then) || In(s, l, p.Else)
+	case ir.Loop:
+		// Rule LOOP-1: the loop may run zero iterations.
+		if s == Ongoing && len(l) == 0 {
+			return true
+		}
+		// Rule LOOP-2: the body returns during some iteration; the whole
+		// remaining trace is one body execution that returned.
+		if s == Returned && In(Returned, l, p.Body) {
+			return true
+		}
+		// Rule LOOP-3: a non-empty completed iteration l1 followed by the
+		// rest of the loop. Restricting to non-empty l1 loses nothing:
+		// an empty completed iteration leaves both the trace and the
+		// judgment unchanged.
+		for i := 1; i <= len(l); i++ {
+			if In(Ongoing, l[:i], p.Body) && In(s, l[i:], p) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// InLanguage decides l ∈ L(p), i.e. whether the trace is derivable under
+// either status (Definition 1 of the paper).
+func InLanguage(l []string, p ir.Program) bool {
+	return In(Ongoing, l, p) || In(Returned, l, p)
+}
+
+// Entry is one enumerated trace together with the status of its
+// derivation.
+type Entry struct {
+	Status Status
+	Trace  []string
+}
+
+// Enumerate returns every derivable (status, trace) pair with trace
+// length at most maxLen, in shortlex order with Ongoing before Returned
+// at equal traces. A pair appears once even if several derivations
+// produce it.
+func Enumerate(p ir.Program, maxLen int) []Entry {
+	sets := enumerate(p, maxLen)
+	var out []Entry
+	for _, t := range sets.ongoing.slice() {
+		out = append(out, Entry{Status: Ongoing, Trace: t})
+	}
+	for _, t := range sets.returned.slice() {
+		out = append(out, Entry{Status: Returned, Trace: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := compareTraces(out[i].Trace, out[j].Trace); c != 0 {
+			return c < 0
+		}
+		return out[i].Status < out[j].Status
+	})
+	return out
+}
+
+// Language returns every trace of L(p) with length at most maxLen, in
+// shortlex order, with duplicates (same trace under both statuses)
+// removed. This realizes Definition 1 up to the length bound.
+func Language(p ir.Program, maxLen int) [][]string {
+	sets := enumerate(p, maxLen)
+	merged := newTraceSet()
+	merged.addAll(sets.ongoing)
+	merged.addAll(sets.returned)
+	out := merged.slice()
+	sort.Slice(out, func(i, j int) bool { return compareTraces(out[i], out[j]) < 0 })
+	return out
+}
+
+// statusSets carries the two trace sets of a subprogram: the ongoing
+// traces (status 0) and the returned traces (status R).
+type statusSets struct {
+	ongoing  *traceSet
+	returned *traceSet
+}
+
+func enumerate(p ir.Program, maxLen int) statusSets {
+	switch p := p.(type) {
+	case ir.Call:
+		s := statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+		if maxLen >= 1 {
+			s.ongoing.add([]string{p.Label})
+		}
+		return s
+	case ir.Skip:
+		s := statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+		s.ongoing.add(nil)
+		return s
+	case ir.Return:
+		s := statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+		s.returned.add(nil)
+		return s
+	case ir.Seq:
+		first := enumerate(p.First, maxLen)
+		second := enumerate(p.Second, maxLen)
+		out := statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+		// SEQ-1: early returns of p1.
+		out.returned.addAll(first.returned)
+		// SEQ-2: completed p1 prefixes followed by p2 traces.
+		for _, l1 := range first.ongoing.slice() {
+			for _, l2 := range second.ongoing.slice() {
+				out.ongoing.addBounded(concatTrace(l1, l2), maxLen)
+			}
+			for _, l2 := range second.returned.slice() {
+				out.returned.addBounded(concatTrace(l1, l2), maxLen)
+			}
+		}
+		return out
+	case ir.If:
+		a := enumerate(p.Then, maxLen)
+		b := enumerate(p.Else, maxLen)
+		out := statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+		out.ongoing.addAll(a.ongoing)
+		out.ongoing.addAll(b.ongoing)
+		out.returned.addAll(a.returned)
+		out.returned.addAll(b.returned)
+		return out
+	case ir.Loop:
+		body := enumerate(p.Body, maxLen)
+		out := statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+		// LOOP-1: zero iterations.
+		out.ongoing.add(nil)
+		// LOOP-2: the body returns in the first iteration.
+		out.returned.addAll(body.returned)
+		// LOOP-3: iterate to a fixpoint, prepending completed body
+		// iterations. The length bound guarantees termination.
+		for changed := true; changed; {
+			changed = false
+			for _, l1 := range body.ongoing.slice() {
+				if len(l1) == 0 {
+					continue // empty iterations add nothing
+				}
+				for _, l2 := range out.ongoing.slice() {
+					if out.ongoing.addBounded(concatTrace(l1, l2), maxLen) {
+						changed = true
+					}
+				}
+				for _, l2 := range out.returned.slice() {
+					if out.returned.addBounded(concatTrace(l1, l2), maxLen) {
+						changed = true
+					}
+				}
+			}
+		}
+		return out
+	}
+	return statusSets{ongoing: newTraceSet(), returned: newTraceSet()}
+}
+
+// traceSet is a deduplicating set of traces.
+type traceSet struct {
+	keys   map[string]struct{}
+	traces [][]string
+}
+
+func newTraceSet() *traceSet {
+	return &traceSet{keys: make(map[string]struct{})}
+}
+
+func (s *traceSet) add(t []string) bool {
+	k := traceKey(t)
+	if _, dup := s.keys[k]; dup {
+		return false
+	}
+	s.keys[k] = struct{}{}
+	s.traces = append(s.traces, append([]string(nil), t...))
+	return true
+}
+
+func (s *traceSet) addBounded(t []string, maxLen int) bool {
+	if len(t) > maxLen {
+		return false
+	}
+	return s.add(t)
+}
+
+func (s *traceSet) addAll(other *traceSet) {
+	for _, t := range other.traces {
+		s.add(t)
+	}
+}
+
+// slice returns the traces in insertion order. Callers must not mutate
+// the returned traces.
+func (s *traceSet) slice() [][]string { return s.traces }
+
+func traceKey(t []string) string {
+	k := ""
+	for _, f := range t {
+		k += f + "\x00"
+	}
+	return k
+}
+
+func concatTrace(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func compareTraces(a, b []string) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+// Package viz renders Shelley models as Graphviz DOT documents,
+// reproducing the diagrams of the paper: the class protocol diagram of
+// Fig. 1 (operations as nodes, allowed successions as edges, initial
+// operations marked by an entry arrow and final operations drawn with a
+// double border), the composite diagram of Fig. 2, and the method
+// dependency graph of Fig. 3 (entry and exit nodes).
+//
+// Output is fully deterministic: nodes are emitted in declaration order
+// and edges in sorted order, so diagrams are diffable across runs.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/depgraph"
+	"github.com/shelley-go/shelley/internal/model"
+)
+
+// ProtocolDOT renders the class usage-protocol diagram (Figs. 1 and 2).
+func ProtocolDOT(c *model.Class) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", c.Name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontname=\"Helvetica\"];\n")
+	b.WriteString("  __start [shape=point, label=\"\"];\n")
+
+	for _, op := range c.Operations {
+		shape := "circle"
+		if op.Final {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", op.Name, shape)
+	}
+	for _, op := range c.Operations {
+		if op.Initial {
+			fmt.Fprintf(&b, "  __start -> %q;\n", op.Name)
+		}
+	}
+	edges := c.ProtocolEdges()
+	for _, op := range c.Operations {
+		for _, next := range edges[op.Name] {
+			fmt.Fprintf(&b, "  %q -> %q;\n", op.Name, next)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DepGraphDOT renders the §3.1 method dependency graph (Fig. 3): entry
+// nodes as boxes, exit nodes as ellipses labelled with their return
+// sets.
+func DepGraphDOT(name string, c *model.Class, g *depgraph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
+		switch n.Kind {
+		case depgraph.Entry:
+			fmt.Fprintf(&b, "  n%d [shape=box, label=%q];\n", id, n.Method)
+		case depgraph.Exit:
+			// The label already carries DOT-escaped inner quotes, so it
+			// is emitted verbatim rather than through %q.
+			fmt.Fprintf(&b, "  n%d [shape=ellipse, label=\"%s\"];\n", id, exitLabel(c, n))
+		}
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func exitLabel(c *model.Class, n depgraph.Node) string {
+	op := c.Operation(n.Method)
+	if op == nil || n.ExitID >= len(op.Method.Exits) {
+		return n.Label()
+	}
+	next := op.Method.Exits[n.ExitID].Next
+	if len(next) == 0 {
+		return "return []"
+	}
+	return "return [" + strings.Join(quoteAll(next), ", ") + "]"
+}
+
+func quoteAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = `\"` + s + `\"`
+	}
+	return out
+}
+
+// DFADOT renders any DFA, for debugging checkers and the L* learner's
+// output.
+func DFADOT(name string, d *automata.DFA) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontname=\"Helvetica\"];\n")
+	b.WriteString("  __start [shape=point, label=\"\"];\n")
+	for s := 0; s < d.NumStates(); s++ {
+		shape := "circle"
+		if d.Accepting(s) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [shape=%s, label=\"%d\"];\n", s, shape, s)
+	}
+	fmt.Fprintf(&b, "  __start -> s%d;\n", d.Start())
+	for s := 0; s < d.NumStates(); s++ {
+		// Group parallel edges into one arrow with a comma label.
+		bySymTarget := make(map[int][]string)
+		for _, sym := range d.Alphabet() {
+			if t := d.Target(s, sym); t >= 0 {
+				bySymTarget[t] = append(bySymTarget[t], sym)
+			}
+		}
+		targets := make([]int, 0, len(bySymTarget))
+		for t := range bySymTarget {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", s, t, strings.Join(bySymTarget[t], ", "))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

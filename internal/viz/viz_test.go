@@ -1,0 +1,153 @@
+package viz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pyparse"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+func classFrom(t *testing.T, file, name string) *model.Class {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, err := pyparse.ParseClass(string(b), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := model.FromAST(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFig1ValveDOT regenerates the Valve diagram of Fig. 1: nodes for
+// test/open/close/clean, the entry arrow into test, double circles on
+// the final operations, and exactly the five protocol edges the figure
+// draws.
+func TestFig1ValveDOT(t *testing.T) {
+	dot := ProtocolDOT(classFrom(t, "valve.py", "Valve"))
+	for _, want := range []string{
+		`digraph "Valve" {`,
+		`"test" [shape=circle];`,
+		`"open" [shape=circle];`,
+		`"close" [shape=doublecircle];`,
+		`"clean" [shape=doublecircle];`,
+		`__start -> "test";`,
+		`"test" -> "open";`,
+		`"test" -> "clean";`,
+		`"open" -> "close";`,
+		`"close" -> "test";`,
+		`"clean" -> "test";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Fig. 1 DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly one entry arrow and five protocol edges.
+	if got := strings.Count(dot, "__start ->"); got != 1 {
+		t.Errorf("entry arrows = %d", got)
+	}
+	if got := strings.Count(dot, `" -> "`); got != 5 {
+		t.Errorf("protocol edges = %d, want 5", got)
+	}
+}
+
+// TestFig2BadSectorDOT regenerates the BadSector composite diagram:
+// open_a is both initial and final (double circle with entry arrow),
+// matching the invalid-usage situation the figure depicts.
+func TestFig2BadSectorDOT(t *testing.T) {
+	dot := ProtocolDOT(classFrom(t, "badsector.py", "BadSector"))
+	for _, want := range []string{
+		`"open_a" [shape=doublecircle];`,
+		`"open_b" [shape=doublecircle];`,
+		`__start -> "open_a";`,
+		`"open_a" -> "open_b";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Fig. 2 DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, `__start -> "open_b"`) {
+		t.Error("open_b is not initial")
+	}
+}
+
+// TestFig3SectorDepGraphDOT regenerates the dependency-graph rendering
+// of Fig. 3: box entry nodes, ellipse exit nodes labelled with their
+// return sets.
+func TestFig3SectorDepGraphDOT(t *testing.T) {
+	c := classFrom(t, "sector.py", "Sector")
+	g, err := c.DepGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DepGraphDOT("Sector", c, g)
+	for _, want := range []string{
+		`[shape=box, label="open_a"];`,
+		`[shape=box, label="clean_a"];`,
+		`[shape=box, label="close_a"];`,
+		`[shape=box, label="open_b"];`,
+		`label="return [\"close_a\", \"open_b\"]"`,
+		`label="return [\"clean_a\"]"`,
+		`label="return []"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Fig. 3 DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// 10 nodes and 11 arcs.
+	if got := strings.Count(dot, "shape=box"); got != 4 {
+		t.Errorf("entry boxes = %d", got)
+	}
+	if got := strings.Count(dot, "shape=ellipse"); got != 6 {
+		t.Errorf("exit ellipses = %d", got)
+	}
+	if got := strings.Count(dot, " -> "); got != 11 {
+		t.Errorf("arcs = %d, want 11", got)
+	}
+}
+
+func TestDFADOT(t *testing.T) {
+	d := automata.CompileMinimal(regex.MustParse("(a . b)*"))
+	dot := DFADOT("ab", d)
+	for _, want := range []string{
+		`digraph "ab" {`,
+		"__start -> s0;",
+		"doublecircle",
+		`[label="a"];`,
+		`[label="b"];`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DFA DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	c := classFrom(t, "badsector.py", "BadSector")
+	first := ProtocolDOT(c)
+	for i := 0; i < 5; i++ {
+		if ProtocolDOT(c) != first {
+			t.Fatal("ProtocolDOT output is not deterministic")
+		}
+	}
+	g, err := c.DepGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDep := DepGraphDOT("BadSector", c, g)
+	for i := 0; i < 5; i++ {
+		if DepGraphDOT("BadSector", c, g) != firstDep {
+			t.Fatal("DepGraphDOT output is not deterministic")
+		}
+	}
+}

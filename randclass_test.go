@@ -1,0 +1,210 @@
+package shelley
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+)
+
+// Whole-pipeline property tests over randomly generated annotated
+// classes: a generator produces MicroPython source for a random base
+// class and a random composite over it, and the properties of
+// DESIGN.md §4 are checked on each — determinism of the analysis,
+// precise ⊆ union flattening, counterexamples replaying as runtime
+// violations, and verified classes being runtime-safe.
+
+// randBaseClass emits a base class with n operations, each returning a
+// random continuation set; at least one op is initial and the return
+// sets only name defined ops.
+func randBaseClass(rng *rand.Rand, name string, n int) string {
+	ops := make([]string, n)
+	for i := range ops {
+		ops[i] = fmt.Sprintf("op%d", i)
+	}
+	var b strings.Builder
+	b.WriteString("@sys\nclass " + name + ":\n")
+	for i, op := range ops {
+		decorator := "@op"
+		initial := i == 0 || rng.Intn(3) == 0
+		final := rng.Intn(2) == 0
+		switch {
+		case initial && final:
+			decorator = "@op_initial_final"
+		case initial:
+			decorator = "@op_initial"
+		case final:
+			decorator = "@op_final"
+		}
+		// 1 or 2 return statements with random next sets.
+		exits := 1 + rng.Intn(2)
+		b.WriteString("    " + decorator + "\n    def " + op + "(self):\n")
+		writeExit := func() {
+			var next []string
+			for _, candidate := range ops {
+				if rng.Intn(3) == 0 {
+					next = append(next, fmt.Sprintf("%q", candidate))
+				}
+			}
+			b.WriteString("            return [" + strings.Join(next, ", ") + "]\n")
+		}
+		if exits == 1 {
+			b.WriteString("        if True:\n")
+			writeExit()
+			b.WriteString("        else:\n")
+			writeExit()
+		} else {
+			b.WriteString("        if self.cond():\n")
+			writeExit()
+			b.WriteString("        else:\n")
+			writeExit()
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// randComposite emits a composite over the base class with random
+// bodies: sequences of subsystem calls wrapped in optional ifs and
+// loops.
+func randComposite(rng *rand.Rand, name, baseName string, baseOps []string) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("@sys([\"d\"])\nclass %s:\n    def __init__(self):\n        self.d = %s()\n\n", name, baseName))
+	nOps := 1 + rng.Intn(3)
+	for i := 0; i < nOps; i++ {
+		decorator := "@op"
+		if i == 0 {
+			decorator = "@op_initial"
+		}
+		if i == nOps-1 {
+			if i == 0 {
+				decorator = "@op_initial_final"
+			} else {
+				decorator = "@op_final"
+			}
+		}
+		b.WriteString("    " + decorator + "\n")
+		fmt.Fprintf(&b, "    def go%d(self):\n", i)
+		stmts := 1 + rng.Intn(3)
+		for s := 0; s < stmts; s++ {
+			call := fmt.Sprintf("self.d.%s()", baseOps[rng.Intn(len(baseOps))])
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "        %s\n", call)
+			case 1:
+				fmt.Fprintf(&b, "        if self.x():\n            %s\n", call)
+			default:
+				fmt.Fprintf(&b, "        while self.x():\n            %s\n", call)
+			}
+		}
+		next := "[]"
+		if i < nOps-1 {
+			next = fmt.Sprintf("[\"go%d\"]", i+1)
+		}
+		fmt.Fprintf(&b, "        return %s\n\n", next)
+	}
+	return b.String()
+}
+
+func TestRandomClassesPipelineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < 60; i++ {
+		nOps := 2 + rng.Intn(3)
+		baseSrc := randBaseClass(rng, "Dev", nOps)
+		baseOps := make([]string, nOps)
+		for j := range baseOps {
+			baseOps[j] = fmt.Sprintf("op%d", j)
+		}
+		src := baseSrc + "\n" + randComposite(rng, "Ctl", "Dev", baseOps)
+
+		m, err := LoadSource(src)
+		if err != nil {
+			t.Fatalf("case %d: generated source does not load: %v\n%s", i, err, src)
+		}
+		ctl, ok := m.Class("Ctl")
+		if !ok {
+			t.Fatal("Ctl missing")
+		}
+
+		// (a) Determinism: two runs yield identical reports.
+		r1, err := ctl.Check()
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, src)
+		}
+		r2, err := ctl.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.String() != r2.String() {
+			t.Fatalf("case %d: analysis not deterministic\n%s", i, src)
+		}
+
+		// (b) precise ⊆ union flattened language.
+		union, err := ctl.FlattenedDFA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		precise, err := ctl.FlattenedDFA(Precise())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, w := automata.SubsetDFA(precise, union); !ok {
+			t.Fatalf("case %d: precise ⊄ union, witness %v\n%s", i, w, src)
+		}
+
+		// (c) Every enumerated usage violation replays as a runtime
+		// failure.
+		violations, err := ctl.UsageViolations(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range violations {
+			if err := ctl.ReplayFlat(v.Trace); err == nil {
+				t.Fatalf("case %d: violation %v replayed cleanly\n%s", i, v.Trace, src)
+			}
+		}
+
+		// (d) Verified (precise) classes are runtime-safe on sampled
+		// traces.
+		preciseReport, err := ctl.Check(Precise())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preciseReport.OK() {
+			for k := 0; k < 20; k++ {
+				tr, ok := precise.RandomAccepted(rng, 10)
+				if !ok {
+					break
+				}
+				if err := ctl.ReplayFlat(tr); err != nil {
+					t.Fatalf("case %d: verified class, trace %v failed: %v\n%s", i, tr, err, src)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomBaseClassesLearnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for i := 0; i < 15; i++ {
+		src := randBaseClass(rng, "Dev", 2+rng.Intn(2))
+		m, err := LoadSource(src)
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, src)
+		}
+		dev, _ := m.Class("Dev")
+		res, err := dev.Learn()
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, src)
+		}
+		spec, err := dev.SpecDFA("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !automata.Equivalent(res.DFA, spec) {
+			t.Fatalf("case %d: learned model differs from spec\n%s", i, src)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package shelley
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/check"
+	"github.com/shelley-go/shelley/internal/hw"
+	"github.com/shelley-go/shelley/internal/interp"
+	"github.com/shelley-go/shelley/internal/learn"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/nusmv"
+	"github.com/shelley-go/shelley/internal/pyast"
+	"github.com/shelley-go/shelley/internal/pyexec"
+	"github.com/shelley-go/shelley/internal/pyparse"
+	"github.com/shelley-go/shelley/internal/regex"
+	"github.com/shelley-go/shelley/internal/viz"
+)
+
+// Re-exported result types. Aliases keep the internal packages as the
+// single source of truth while making the types usable by importers.
+type (
+	// Report is the outcome of verifying one class.
+	Report = check.Report
+
+	// Diagnostic is one verification finding.
+	Diagnostic = check.Diagnostic
+
+	// Kind classifies a diagnostic.
+	Kind = check.Kind
+
+	// Instance is a simulated object of an annotated class.
+	Instance = interp.Instance
+
+	// System is a simulated composite with live subsystem instances.
+	System = interp.System
+
+	// DFA is a deterministic finite automaton.
+	DFA = automata.DFA
+
+	// LearnResult is the outcome of an L* run.
+	LearnResult = learn.Result
+
+	// Violation is one invalid complete usage found by UsageViolations.
+	Violation = check.Violation
+
+	// Board is an emulated GPIO board (internal/hw).
+	Board = hw.Board
+
+	// Device is a concretely executing instance of a base class: its
+	// method bodies run against real emulated pins (internal/pyexec).
+	Device = pyexec.Object
+)
+
+// NewBoard returns an empty emulated GPIO board.
+func NewBoard() *Board { return hw.NewBoard() }
+
+// Diagnostic kinds, re-exported.
+const (
+	KindStructure             = check.KindStructure
+	KindUndefinedMethod       = check.KindUndefinedMethod
+	KindNonExhaustiveMatch    = check.KindNonExhaustiveMatch
+	KindUselessCase           = check.KindUselessCase
+	KindInvalidSubsystemUsage = check.KindInvalidSubsystemUsage
+	KindClaimFailure          = check.KindClaimFailure
+)
+
+// Module is a loaded MicroPython source file: its classes and the
+// registry used to resolve subsystem types.
+type Module struct {
+	classes  []*Class
+	registry check.Registry
+}
+
+// LoadSource parses and models every class of a MicroPython source
+// string.
+func LoadSource(src string) (*Module, error) {
+	ast, err := pyparse.ParseModule(src)
+	if err != nil {
+		return nil, fmt.Errorf("shelley: %w", err)
+	}
+	m := &Module{registry: check.Registry{}}
+	for _, cls := range ast.Classes {
+		mc, err := model.FromAST(cls)
+		if err != nil {
+			return nil, fmt.Errorf("shelley: %w", err)
+		}
+		m.registry[mc.Name] = mc
+		m.classes = append(m.classes, &Class{model: mc, ast: cls, module: m})
+	}
+	return m, nil
+}
+
+// LoadFile is LoadSource over a file's contents.
+func LoadFile(path string) (*Module, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shelley: %w", err)
+	}
+	return LoadSource(string(b))
+}
+
+// LoadFiles loads several files into one module, so composites can
+// reference classes defined elsewhere.
+func LoadFiles(paths ...string) (*Module, error) {
+	merged := &Module{registry: check.Registry{}}
+	for _, p := range paths {
+		m, err := LoadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range m.classes {
+			if _, dup := merged.registry[c.Name()]; dup {
+				return nil, fmt.Errorf("shelley: class %q defined in more than one file", c.Name())
+			}
+			c.module = merged
+			merged.registry[c.Name()] = c.model
+			merged.classes = append(merged.classes, c)
+		}
+	}
+	return merged, nil
+}
+
+// Classes returns the module's classes in source order.
+func (m *Module) Classes() []*Class { return append([]*Class(nil), m.classes...) }
+
+// Class returns the named class.
+func (m *Module) Class(name string) (*Class, bool) {
+	for _, c := range m.classes {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// CheckAll verifies every class of the module, in source order.
+func (m *Module) CheckAll() ([]*Report, error) {
+	out := make([]*Report, 0, len(m.classes))
+	for _, c := range m.classes {
+		r, err := c.Check()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Class is the Shelley model of one annotated class, bound to its
+// module for subsystem resolution.
+type Class struct {
+	model  *model.Class
+	ast    *pyast.ClassDef
+	module *Module
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.model.Name }
+
+// Operations returns the operation names in source order.
+func (c *Class) Operations() []string { return c.model.OperationNames() }
+
+// Subsystems returns the declared subsystem fields in declaration
+// order; empty for base classes.
+func (c *Class) Subsystems() []string {
+	return append([]string(nil), c.model.SubsystemNames...)
+}
+
+// Claims returns the @claim formulas in source order.
+func (c *Class) Claims() []string {
+	out := make([]string, len(c.model.Claims))
+	for i, cl := range c.model.Claims {
+		out[i] = cl.Formula
+	}
+	return out
+}
+
+// Check runs the full verification pipeline on the class. Options:
+// shelley.Precise switches to exit-aware flattening (see DESIGN.md §6).
+func (c *Class) Check(opts ...check.Option) (*Report, error) {
+	return check.Check(c.model, c.module.registry, opts...)
+}
+
+// Precise is re-exported from the checker: exit-aware flattening that
+// removes the union-level over-approximation of the paper's model.
+func Precise() check.Option { return check.Precise() }
+
+// Behavior returns the inferred behavior of an operation (§3.2) as a
+// regular expression in the paper's concrete syntax, e.g.
+// "(a . (b . 0 + c))* + (a . (b . 0 + c))* . a . b".
+func (c *Class) Behavior(op string) (string, error) {
+	o := c.model.Operation(op)
+	if o == nil {
+		return "", fmt.Errorf("shelley: class %s has no operation %q", c.Name(), op)
+	}
+	return o.Behavior().String(), nil
+}
+
+// BehaviorSimplified is Behavior after language-preserving
+// normalization.
+func (c *Class) BehaviorSimplified(op string) (string, error) {
+	o := c.model.Operation(op)
+	if o == nil {
+		return "", fmt.Errorf("shelley: class %s has no operation %q", c.Name(), op)
+	}
+	return regex.Simplify(o.Behavior()).String(), nil
+}
+
+// ProtocolDiagram renders the Fig. 1-style usage diagram as Graphviz
+// DOT.
+func (c *Class) ProtocolDiagram() string { return viz.ProtocolDOT(c.model) }
+
+// DependencyDiagram renders the §3.1 method dependency graph (Fig. 3)
+// as Graphviz DOT.
+func (c *Class) DependencyDiagram() (string, error) {
+	g, err := c.model.DepGraph()
+	if err != nil {
+		return "", fmt.Errorf("shelley: %w", err)
+	}
+	return viz.DepGraphDOT(c.Name(), c.model, g), nil
+}
+
+// ProtocolRegex returns the class's whole usage language as a regular
+// expression (the protocol automaton converted back through state
+// elimination) — a compact, printable form of Corollary 1 applied to
+// the class itself.
+func (c *Class) ProtocolRegex() (string, error) {
+	d, err := c.model.SpecDFA("")
+	if err != nil {
+		return "", err
+	}
+	return regex.Simplify(d.Minimize().ToRegex()).String(), nil
+}
+
+// SpecDFA returns the class's usage-protocol automaton; operation names
+// are prefixed with prefix+"." when prefix is non-empty.
+func (c *Class) SpecDFA(prefix string) (*DFA, error) {
+	return c.model.SpecDFA(prefix)
+}
+
+// NewInstance creates a simulated object of the class.
+func (c *Class) NewInstance(opts ...interp.Option) *Instance {
+	return interp.NewInstance(c.model, opts...)
+}
+
+// NewSystem instantiates the composite class with live subsystem
+// instances, resolving subsystem types through the module.
+func (c *Class) NewSystem(opts ...interp.Option) (*System, error) {
+	return interp.NewSystem(c.model, c.module.registry, opts...)
+}
+
+// UsageViolations enumerates up to max distinct invalid complete usages
+// per subsystem, shortest first.
+func (c *Class) UsageViolations(max int, opts ...check.Option) ([]Violation, error) {
+	return check.UsageViolations(c.model, c.module.registry, max, opts...)
+}
+
+// ReplayFlat drives the class's subsystem instances directly with a
+// flattened qualified trace (as found in checker counterexamples) and
+// returns the first protocol error, or an error when subsystems are
+// left in non-final states. A nil result means the trace is a clean,
+// complete usage.
+func (c *Class) ReplayFlat(trace []string, opts ...interp.Option) error {
+	return interp.ReplayFlat(c.model, c.module.registry, trace, opts...)
+}
+
+// NewDevice instantiates the class as a concretely executing device on
+// the board: __init__ builds real emulated pins, method bodies evaluate
+// pin reads, and each call returns the continuation the device actually
+// took. Only base classes (whose bodies drive pins, not subsystems) can
+// run this way.
+func (c *Class) NewDevice(board *Board) (*Device, error) {
+	if len(c.model.SubsystemNames) > 0 {
+		return nil, fmt.Errorf("shelley: %s is a composite; NewDevice runs base classes (use NewSystem)", c.Name())
+	}
+	return pyexec.NewObject(c.ast, pyexec.NewEnv(board))
+}
+
+// FlattenedDFA returns the class's behavior automaton over subsystem
+// operations (for composites) or its own protocol automaton (for base
+// classes) — the object claims are verified against.
+func (c *Class) FlattenedDFA(opts ...check.Option) (*DFA, error) {
+	return check.FlattenedDFA(c.model, c.module.registry, opts...)
+}
+
+// ExportNuSMV renders the class's model as a NuSMV module, the backend
+// path the paper's implementation delegates model checking to (§5).
+// Claims are included as LTLSPEC properties via the standard
+// LTLf-to-LTL encoding.
+func (c *Class) ExportNuSMV() (string, error) {
+	d, err := c.FlattenedDFA()
+	if err != nil {
+		return "", err
+	}
+	return nusmv.ExportClaims(c.Name(), d, c.Claims())
+}
+
+// LearnKV is Learn with the Kearns–Vazirani classification-tree
+// algorithm instead of L*.
+func (c *Class) LearnKV() (*LearnResult, error) {
+	depth := 2*len(c.model.Operations) + 1
+	teacher := learn.NewInstanceTeacher(c.model, depth)
+	return learn.KearnsVazirani(teacher, learn.Config{})
+}
+
+// RunTrace reports whether the call sequence is a valid complete usage
+// of the class under the specification (angelic) semantics — the
+// membership oracle used by learning and conformance testing.
+func (c *Class) RunTrace(trace []string) bool {
+	return interp.Run(c.model, trace, interp.WithAngelic())
+}
+
+// ConformanceSuite generates the W-method conformance test suite of the
+// class's protocol: any implementation with at most extraStates more
+// states than the specification that passes every suite trace implements
+// exactly the specified protocol. Use together with NewInstance /
+// NewDevice to test implementations against the model.
+func (c *Class) ConformanceSuite(extraStates int) ([][]string, error) {
+	spec, err := c.model.SpecDFA("")
+	if err != nil {
+		return nil, err
+	}
+	return learn.WMethodSuite(spec.Minimize(), extraStates), nil
+}
+
+// Learn runs L* against a simulated instance of the class and returns
+// the learned protocol automaton together with query statistics. The
+// result is equivalent to SpecDFA("") — dynamic model inference agrees
+// with the static extraction.
+func (c *Class) Learn() (*LearnResult, error) {
+	depth := 2*len(c.model.Operations) + 1
+	teacher := learn.NewInstanceTeacher(c.model, depth)
+	return learn.LStar(teacher, learn.Config{})
+}
+
+// Names returns the class names in the module, sorted; a convenience
+// for tools.
+func (m *Module) Names() []string {
+	out := make([]string, 0, len(m.classes))
+	for _, c := range m.classes {
+		out = append(out, c.Name())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package shelley
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/interp"
+)
+
+// Stress tests: large synthetic systems through the whole pipeline.
+// They guard against accidental exponential blowups in parsing,
+// flattening, and counterexample search.
+
+// syntheticFleet builds a composite driving n devices, each with a
+// 3-operation protocol; each composite op runs one device's full cycle.
+func syntheticFleet(n int) string {
+	var b strings.Builder
+	b.WriteString(`@sys
+class Unit:
+    @op_initial
+    def up(self):
+        return ["work", "down"]
+
+    @op
+    def work(self):
+        return ["work", "down"]
+
+    @op_final
+    def down(self):
+        return ["up"]
+
+`)
+	subs := make([]string, n)
+	for i := range subs {
+		subs[i] = fmt.Sprintf("%q", dev(i))
+	}
+	fmt.Fprintf(&b, "@sys([%s])\nclass Fleet:\n    def __init__(self):\n", strings.Join(subs, ", "))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "        self.%s = Unit()\n", dev(i))
+	}
+	b.WriteString("\n")
+	for i := 0; i < n; i++ {
+		decorator := "@op"
+		switch {
+		case n == 1:
+			decorator = "@op_initial_final"
+		case i == 0:
+			decorator = "@op_initial"
+		case i == n-1:
+			decorator = "@op_final"
+		}
+		next := "[]"
+		if i < n-1 {
+			next = fmt.Sprintf("[\"cycle%d\"]", i+1)
+		}
+		fmt.Fprintf(&b, "    %s\n    def cycle%d(self):\n", decorator, i)
+		fmt.Fprintf(&b, "        self.%s.up()\n", dev(i))
+		fmt.Fprintf(&b, "        while self.more():\n            self.%s.work()\n", dev(i))
+		fmt.Fprintf(&b, "        self.%s.down()\n", dev(i))
+		fmt.Fprintf(&b, "        return %s\n\n", next)
+	}
+	return b.String()
+}
+
+func dev(i int) string { return fmt.Sprintf("d%02d", i) }
+
+func TestStressFleetVerifies(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 32} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			m, err := LoadSource(syntheticFleet(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet, ok := m.Class("Fleet")
+			if !ok {
+				t.Fatal("Fleet missing")
+			}
+			report, err := fleet.Check()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.OK() {
+				t.Fatalf("fleet(%d) should verify:\n%s", n, report)
+			}
+		})
+	}
+}
+
+func TestStressFleetPreciseVerifies(t *testing.T) {
+	m, err := LoadSource(syntheticFleet(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, _ := m.Class("Fleet")
+	report, err := fleet.Check(Precise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("precise fleet should verify:\n%s", report)
+	}
+}
+
+func TestStressFleetCounterexampleStillShort(t *testing.T) {
+	// Break one device's cycle deep in the chain and check the
+	// counterexample search stays tractable and the witness minimal.
+	src := syntheticFleet(12)
+	src = strings.Replace(src,
+		"        self.d11.down()\n        return []\n",
+		"        return []\n", 1)
+	m, err := LoadSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, _ := m.Class("Fleet")
+	report, err := fleet.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var usage *Diagnostic
+	for i := range report.Diagnostics {
+		if report.Diagnostics[i].Kind == KindInvalidSubsystemUsage {
+			usage = &report.Diagnostics[i]
+		}
+	}
+	if usage == nil {
+		t.Fatalf("expected usage violation:\n%s", report)
+	}
+	// Minimal witness: each healthy device does up+down (2 events ×11),
+	// the broken one only up (1 event).
+	if got, want := len(usage.Counterexample), 2*11+1; got != want {
+		t.Errorf("counterexample length = %d, want %d: %v", got, want, usage.Counterexample)
+	}
+	if !strings.Contains(usage.Message, "Unit 'd11': >up< (not final)") {
+		t.Errorf("message:\n%s", usage.Message)
+	}
+}
+
+func TestStressDeeplyNestedBodies(t *testing.T) {
+	// 12 nested loops+ifs in one op body.
+	var body strings.Builder
+	indent := "        "
+	for i := 0; i < 12; i++ {
+		body.WriteString(indent + "while self.go():\n")
+		indent += "    "
+		body.WriteString(indent + "if self.hot():\n")
+		indent += "    "
+		body.WriteString(indent + "self.d.work()\n")
+		// Unindent the if's body, stay in the while for the next level.
+	}
+	src := `@sys
+class Dev:
+    @op_initial_final
+    def work(self):
+        return ["work"]
+
+@sys(["d"])
+class Nest:
+    def __init__(self):
+        self.d = Dev()
+
+    @op_initial_final
+    def go(self):
+` + body.String() + `        return []
+`
+	m, err := LoadSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nest, _ := m.Class("Nest")
+	report, err := nest.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("nest should verify:\n%s", report)
+	}
+}
+
+func TestStressSimulateFleet(t *testing.T) {
+	m, err := LoadSource(syntheticFleet(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, _ := m.Class("Fleet")
+	sys, err := fleet.NewSystem(interp.WithChooser(interp.NewRandomChoice(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := sys.Invoke(fmt.Sprintf("cycle%d", i)); err != nil {
+			t.Fatalf("cycle%d: %v", i, err)
+		}
+	}
+	if !sys.CanStop() {
+		t.Errorf("dangling: %v", sys.DanglingSubsystems())
+	}
+}

@@ -1,0 +1,32 @@
+# Listing 2.2 of the paper: a sector that uses two valves incorrectly.
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []

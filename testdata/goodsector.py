@@ -1,0 +1,28 @@
+# A corrected sector: valve b is opened before valve a (satisfying the
+# temporal claim), every valve usage ends in a final operation, and the
+# whole irrigation step happens in a single composite operation.
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class GoodSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def run(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                match self.a.test():
+                    case ["open"]:
+                        self.a.open()
+                        self.a.close()
+                        self.b.close()
+                        return []
+                    case ["clean"]:
+                        self.a.clean()
+                        self.b.close()
+                        return []
+            case ["clean"]:
+                self.b.clean()
+                return []

@@ -1,0 +1,21 @@
+# Listing 3.1 of the paper: class Sector with code elided to only show
+# returns per method (used for the method-dependency graph of Fig. 3).
+class Sector:
+    def open_a(self):
+        if ready():
+            return ["close_a", "open_b"]
+        else:
+            return ["clean_a"]
+
+    def clean_a(self):
+        return ["open_a"]
+
+    def close_a(self):
+        pass
+        return ["open_a"]
+
+    def open_b(self):
+        if done():
+            return []
+        else:
+            return []

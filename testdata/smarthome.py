@@ -1,0 +1,99 @@
+# A larger integration scenario: a battery-powered thermostat node.
+# The radio must be woken before sending and slept afterwards; the
+# sensor must be started before sampling and stopped afterwards; the
+# heater must never be left running. The Thermostat composite
+# orchestrates all three and carries three temporal claims.
+
+@sys
+class Radio:
+    def __init__(self):
+        self.en = Pin(4, OUT)
+
+    @op_initial
+    def wake(self):
+        self.en.on()
+        return ["send", "sleep"]
+
+    @op
+    def send(self):
+        return ["send", "sleep"]
+
+    @op_final
+    def sleep(self):
+        self.en.off()
+        return ["wake"]
+
+
+@sys
+class Sensor:
+    def __init__(self):
+        self.en = Pin(5, OUT)
+
+    @op_initial
+    def start(self):
+        self.en.on()
+        return ["sample"]
+
+    @op
+    def sample(self):
+        if self.ok():
+            return ["sample", "stop"]
+        else:
+            return ["stop"]
+
+    @op_final
+    def stop(self):
+        self.en.off()
+        return ["start"]
+
+
+@sys
+class Heater:
+    def __init__(self):
+        self.relay = Pin(6, OUT)
+
+    @op_initial
+    def on(self):
+        self.relay.on()
+        return ["off"]
+
+    @op_final
+    def off(self):
+        self.relay.off()
+        return ["on"]
+
+
+@claim("(!h.on) W s.sample")
+@claim("G (r.send -> F r.sleep)")
+@sys(["s", "h", "r"])
+class Thermostat:
+    def __init__(self):
+        self.s = Sensor()
+        self.h = Heater()
+        self.r = Radio()
+
+    @op_initial
+    def measure(self):
+        self.s.start()
+        self.s.sample()
+        self.s.stop()
+        return ["heat", "report", "idle"]
+
+    @op
+    def heat(self):
+        self.h.on()
+        self.h.off()
+        return ["report", "idle"]
+
+    @op
+    def report(self):
+        self.r.wake()
+        while self.retry():
+            self.r.send()
+        self.r.send()
+        self.r.sleep()
+        return ["idle"]
+
+    @op_final
+    def idle(self):
+        return ["measure"]
