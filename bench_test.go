@@ -556,6 +556,81 @@ func BenchmarkScaleEnumerate(b *testing.B) {
 	}
 }
 
+// --- P1: the memoizing pipeline cache — cold vs cached verification ---
+
+// benchCheckAllModule is the workload for the cache benchmarks: the
+// paper's three classes plus a 16-operation synthetic chain, so both
+// small and state-space-heavy analyses are in the mix.
+func benchCheckAllModule(b *testing.B) *Module {
+	b.Helper()
+	src := mustRead(b, "valve.py") + "\n" +
+		mustRead(b, "badsector.py") + "\n" +
+		mustRead(b, "goodsector.py") + "\n" +
+		syntheticComposite(16)
+	m, err := LoadSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkCheckAllCold measures full verification with memoization
+// disabled: every iteration recomputes every behavior, automaton, and
+// report from scratch. Pair with BenchmarkCheckAllCached; EXPERIMENTS.md
+// records the ratio (the acceptance bar is ≥ 5×).
+func BenchmarkCheckAllCold(b *testing.B) {
+	m := benchCheckAllModule(b)
+	m.SetPipelineCaching(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := m.CheckAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkCheckAllCached measures the warm path: one priming pass fills
+// the cache, then every iteration is fingerprint lookups plus report
+// clones.
+func BenchmarkCheckAllCached(b *testing.B) {
+	m := benchCheckAllModule(b)
+	if _, err := m.CheckAll(); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := m.CheckAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkCheckAllConcurrentCached is the fan-out on a warm cache —
+// the CheckAllConcurrent fast path CI smoke-tests.
+func BenchmarkCheckAllConcurrentCached(b *testing.B) {
+	m := mustLoadPaper(b)
+	if _, err := m.CheckAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CheckAllConcurrent(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeviceExecution runs the concrete Valve cycle on the
 // emulated board.
 func BenchmarkDeviceExecution(b *testing.B) {

@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) (int, error) {
 	precise := fs.Bool("precise", false, "use exit-aware flattening (tighter than the paper's union model)")
 	violations := fs.Int("violations", 0, "additionally list up to N invalid usages per subsystem")
 	explain := fs.Bool("explain", false, "print a step-by-step explanation for failed claims")
+	stats := fs.Bool("stats", false, "print pipeline cache statistics after verification")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -122,6 +123,9 @@ func run(args []string, out io.Writer) (int, error) {
 		if err := enc.Encode(reports); err != nil {
 			return 2, err
 		}
+	}
+	if *stats {
+		fmt.Fprint(out, mod.PipelineStats())
 	}
 	if failed {
 		return 1, nil

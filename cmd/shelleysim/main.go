@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) (int, error) {
 	planFile := fs.String("plan", "", "file with one operation per line")
 	opsFlag := fs.String("ops", "", "comma-separated operations (alternative to -plan)")
 	seed := fs.Int64("seed", 1, "seed for resolving branch/exit choices")
+	stats := fs.Bool("stats", false, "verify the class before simulating and print pipeline cache statistics")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -64,6 +65,19 @@ func run(args []string, out io.Writer) (int, error) {
 	if !ok {
 		return 2, fmt.Errorf("class %q not found (available: %v)", *className, mod.Names())
 	}
+	if *stats {
+		// Run the static pipeline so the cache has something to report,
+		// and warn when the plan is driving an unverified class.
+		report, err := c.Check()
+		if err != nil {
+			return 2, err
+		}
+		if !report.OK() {
+			fmt.Fprintf(out, "warning: class %s has %d verification finding(s); simulating anyway\n",
+				c.Name(), len(report.Diagnostics))
+		}
+	}
+
 	sys, err := c.NewSystem(interp.WithChooser(interp.NewRandomChoice(*seed)))
 	if err != nil {
 		return 2, err
@@ -86,6 +100,9 @@ func run(args []string, out io.Writer) (int, error) {
 		failed = true
 	} else if !failed {
 		fmt.Fprintln(out, "system stoppable: all subsystems in final states")
+	}
+	if *stats {
+		fmt.Fprint(out, mod.PipelineStats())
 	}
 	if failed {
 		return 1, nil

@@ -4,14 +4,21 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // CheckAllConcurrent verifies every class of the module in parallel,
 // using up to workers goroutines (0 means GOMAXPROCS). The analyses are
-// independent — every class reads the shared registry but mutates
-// nothing — so this is a pure fan-out; results come back in source
-// order regardless of completion order, and the first analysis error
-// (not verification finding) is returned after all workers finish.
+// independent — every class reads the shared registry and the shared
+// pipeline cache, both concurrency-safe — so this is a pure fan-out;
+// results come back in source order regardless of completion order.
+//
+// The first analysis error (not verification finding) stops the run:
+// once any worker fails, no further class is handed out and idle-bound
+// classes are skipped, so a module whose first class cannot be analyzed
+// does not pay for checking the remaining hundreds. Classes already in
+// flight finish normally. The error reported is the one for the
+// earliest (source-order) failing class among those actually checked.
 func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,17 +34,30 @@ func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 	errs := make([]error, len(m.classes))
 	jobs := make(chan int)
 
+	// failed flips once on the first analysis error; the producer stops
+	// feeding and workers drain the channel without checking further.
+	var failed atomic.Bool
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
 				reports[i], errs[i] = m.classes[i].Check()
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	for i := range m.classes {
+		if failed.Load() {
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)

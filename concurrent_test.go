@@ -1,8 +1,12 @@
 package shelley
 
 import (
+	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/shelley-go/shelley/internal/pipeline"
 )
 
 func TestCheckAllConcurrentMatchesSequential(t *testing.T) {
@@ -40,6 +44,54 @@ func TestCheckAllConcurrentPropagatesErrors(t *testing.T) {
 	}
 	if _, err := m.CheckAllConcurrent(4); err == nil {
 		t.Error("expected a resolution error")
+	}
+}
+
+// TestCheckAllConcurrentStopsOnFirstError is the regression test for
+// the early-stop fix: when an early class fails to analyze, the fan-out
+// must stop handing out work instead of checking every remaining class.
+// The module puts a broken composite (unresolvable subsystem type)
+// first, followed by many valid composites; the pipeline cache counters
+// reveal how many of them were actually analyzed.
+func TestCheckAllConcurrentStopsOnFirstError(t *testing.T) {
+	const valid = 60
+	var b strings.Builder
+	b.WriteString("@sys([\"x\"])\nclass Broken:\n    def __init__(self):\n        self.x = Missing()\n\n")
+	b.WriteString("    @op_initial_final\n    def go(self):\n        self.x.up()\n        return []\n\n")
+	b.WriteString(`@sys
+class Dev:
+    @op_initial
+    def acquire(self):
+        return ["release"]
+
+    @op_final
+    def release(self):
+        return ["acquire"]
+
+`)
+	for i := 0; i < valid; i++ {
+		fmt.Fprintf(&b, "@sys([\"d\"])\nclass Ctl%d:\n    def __init__(self):\n        self.d = Dev()\n\n", i)
+		fmt.Fprintf(&b, "    @op_initial_final\n    def go%d(self):\n        self.d.acquire()\n        self.d.release()\n        return []\n\n", i)
+	}
+
+	m, err := LoadSource(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.CheckAllConcurrent(4)
+	if err == nil {
+		t.Fatal("expected a resolution error for Broken")
+	}
+	if !strings.Contains(err.Error(), "Broken") {
+		t.Fatalf("error does not name the failing class: %v", err)
+	}
+
+	// Every valid class that was analyzed recorded one report-stage miss
+	// (the broken one takes the uncached error path, so it counts
+	// nothing). Without the early stop, all 60 get checked.
+	checked := m.PipelineStats().Of(pipeline.StageReport).Misses
+	if checked >= valid/2 {
+		t.Fatalf("early stop ineffective: %d of %d classes were still analyzed after the failure", checked, valid)
 	}
 }
 

@@ -1,0 +1,99 @@
+package check
+
+import (
+	"strings"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/ir"
+	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pipeline"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+// WithCache threads a memoizing pipeline cache through every
+// verification pass: whole-class reports, flattened composite automata,
+// subsystem protocol automata, behavior DFA compiles, and LTLf claim
+// compilation are then looked up by content fingerprint instead of
+// being rebuilt. A nil cache (or omitting the option) keeps the passes
+// fully uncached; the differential tests in the root package assert the
+// two modes byte-identical.
+func WithCache(cache *pipeline.Cache) Option {
+	return func(c *config) { c.cache = cache }
+}
+
+// classKey builds the content-addressed key covering everything the
+// analysis of c reads: the class's own fingerprint, the analysis mode,
+// and the fingerprint of every resolved subsystem class (checkUsage and
+// checkClaims depend on the subsystems' protocols, but nothing deeper —
+// a subsystem's own subsystems never enter the analysis of c). ok is
+// false when a subsystem cannot be resolved; the analysis then errors
+// on the uncached path.
+func classKey(cfg config, c *model.Class, reg Registry) (string, bool) {
+	var b strings.Builder
+	b.WriteString(c.Fingerprint())
+	if cfg.precise {
+		b.WriteString("|precise")
+	}
+	for _, name := range c.SubsystemNames {
+		sub, err := reg.resolve(c, name)
+		if err != nil {
+			return "", false
+		}
+		b.WriteString("|")
+		b.WriteString(name)
+		b.WriteString("=")
+		b.WriteString(sub.Fingerprint())
+	}
+	return b.String(), true
+}
+
+// specDFA returns the class's protocol automaton, memoized under
+// StageSpec. Cached automata are shared read-only.
+func (cfg config) specDFA(c *model.Class, prefix string) (*automata.DFA, error) {
+	return pipeline.Memo(cfg.cache, pipeline.StageSpec,
+		pipeline.SpecKey(c.Fingerprint(), prefix),
+		func() (*automata.DFA, error) { return c.SpecDFA(prefix) })
+}
+
+// behaviorDFA compiles the minimal DFA of the simplified behavior of a
+// method body, memoized per stage (inference, then compilation).
+func (cfg config) behaviorDFA(p ir.Program) *automata.DFA {
+	return cfg.cache.BehaviorDFA(p)
+}
+
+// minimalDFA compiles one regular expression, memoized by its
+// canonical key.
+func (cfg config) minimalDFA(r regex.Regex) *automata.DFA {
+	return cfg.cache.MinimalDFA(r)
+}
+
+// flatPair bundles the flattened ε-automaton (needed for trace
+// annotation) with its determinized erasure (needed for every search).
+type flatPair struct {
+	flat *flatAutomaton
+	dfa  *automata.DFA
+}
+
+// flattened builds — or retrieves — the flattened behavior of the
+// composite plus its DFA, memoized under StageFlatten. Both halves are
+// immutable after construction and shared read-only across workers; the
+// singleflight in the cache guarantees two workers never run the
+// flatten substitution or the subset construction for the same class
+// concurrently.
+func flattened(cfg config, c *model.Class, reg Registry, alphabet []string) (*flatAutomaton, *automata.DFA, error) {
+	build := func() (flatPair, error) {
+		flat, err := flattenWith(cfg, c, alphabet)
+		if err != nil {
+			return flatPair{}, err
+		}
+		return flatPair{flat: flat, dfa: flat.toDFA()}, nil
+	}
+	if cfg.cache != nil {
+		if key, ok := classKey(cfg, c, reg); ok {
+			pair, err := pipeline.Memo(cfg.cache, pipeline.StageFlatten, key, build)
+			return pair.flat, pair.dfa, err
+		}
+	}
+	pair, err := build()
+	return pair.flat, pair.dfa, err
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/regex"
 )
 
@@ -142,6 +143,17 @@ type Report struct {
 // OK reports whether the class verified without findings.
 func (r *Report) OK() bool { return len(r.Diagnostics) == 0 }
 
+// Clone returns a deep copy of the report. The memoization cache hands
+// out clones so callers can hold or mutate reports without poisoning
+// the shared entry.
+func (r *Report) Clone() *Report {
+	out := &Report{Class: r.Class, Diagnostics: append([]Diagnostic(nil), r.Diagnostics...)}
+	for i := range out.Diagnostics {
+		out.Diagnostics[i].Counterexample = append([]string(nil), out.Diagnostics[i].Counterexample...)
+	}
+	return out
+}
+
 // String renders every diagnostic message, separated by blank lines.
 func (r *Report) String() string {
 	if r.OK() {
@@ -162,6 +174,25 @@ func (r *Report) String() string {
 // Report instead.
 func Check(c *model.Class, reg Registry, opts ...Option) (*Report, error) {
 	cfg := buildConfig(opts)
+	if cfg.cache != nil {
+		// Whole-report memoization: the report is a pure function of the
+		// class content, the analysis mode, and the subsystems' content,
+		// all of which classKey captures. A warm Check is a cache lookup
+		// plus a deep copy.
+		if key, ok := classKey(cfg, c, reg); ok {
+			report, err := pipeline.Memo(cfg.cache, pipeline.StageReport, key,
+				func() (*Report, error) { return check(cfg, c, reg) })
+			if err != nil {
+				return nil, err
+			}
+			return report.Clone(), nil
+		}
+	}
+	return check(cfg, c, reg)
+}
+
+// check runs the passes uncached; Check wraps it with memoization.
+func check(cfg config, c *model.Class, reg Registry) (*Report, error) {
 	report := &Report{Class: c.Name}
 
 	for _, p := range c.Validate() {

@@ -34,13 +34,12 @@ func checkClaims(cfg config, c *model.Class, reg Registry, report *Report) error
 		if err != nil {
 			return err
 		}
-		flat, err := flattenWith(cfg, c, alphabet)
+		_, flatDFA, err = flattened(cfg, c, reg, alphabet)
 		if err != nil {
 			return err
 		}
-		flatDFA = flat.toDFA()
 	} else {
-		spec, err := c.SpecDFA("")
+		spec, err := cfg.specDFA(c, "")
 		if err != nil {
 			return err
 		}
@@ -68,7 +67,7 @@ func checkClaims(cfg config, c *model.Class, reg Registry, report *Report) error
 				})
 			}
 		}
-		violations := ltlf.CompileNegation(formula, alphabet)
+		violations := cfg.cache.ClaimNegation(formula, claim.Formula, alphabet)
 		// Shortest complete trace that violates the claim.
 		type pair struct{ f, v int }
 		type node struct {

@@ -3,6 +3,7 @@ package check
 import (
 	"github.com/shelley-go/shelley/internal/automata"
 	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pipeline"
 )
 
 // FlattenedDFA exposes the composite class's behavior automaton over
@@ -10,15 +11,43 @@ import (
 // against — for external backends (the NuSMV exporter) and tooling. For
 // a base class (no subsystems) it returns the class's own protocol
 // automaton.
+//
+// Results served from a pipeline cache are cloned: callers own the
+// returned automaton and may hold it indefinitely without aliasing the
+// shared cache entry.
 func FlattenedDFA(c *model.Class, reg Registry, opts ...Option) (*automata.DFA, error) {
+	cfg := buildConfig(opts)
 	if len(c.SubsystemNames) == 0 {
-		return c.SpecDFA("")
+		spec, err := cfg.specDFA(c, "")
+		if err != nil {
+			return nil, err
+		}
+		if cfg.cache != nil {
+			spec = spec.Clone()
+		}
+		return spec, nil
 	}
 	alphabet, err := subsystemAlphabet(c, reg)
 	if err != nil {
 		return nil, err
 	}
-	flat, err := flattenWith(buildConfig(opts), c, alphabet)
+	if cfg.cache != nil {
+		if key, ok := classKey(cfg, c, reg); ok {
+			min, err := pipeline.Memo(cfg.cache, pipeline.StageFlatten, key+"|min",
+				func() (*automata.DFA, error) {
+					_, dfa, err := flattened(cfg, c, reg, alphabet)
+					if err != nil {
+						return nil, err
+					}
+					return dfa.Minimize(), nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			return min.Clone(), nil
+		}
+	}
+	flat, err := flattenWith(cfg, c, alphabet)
 	if err != nil {
 		return nil, err
 	}

@@ -5,9 +5,7 @@ import (
 	"sort"
 
 	"github.com/shelley-go/shelley/internal/automata"
-	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/model"
-	"github.com/shelley-go/shelley/internal/regex"
 )
 
 // flatAutomaton is the composite class's behavior over *subsystem*
@@ -31,8 +29,8 @@ type flatEdge struct {
 }
 
 // flatten builds the flat automaton of a composite class.
-func flatten(c *model.Class, alphabet []string) (*flatAutomaton, error) {
-	protocol, err := c.SpecDFA("")
+func flatten(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, error) {
+	protocol, err := cfg.specDFA(c, "")
 	if err != nil {
 		return nil, err
 	}
@@ -51,10 +49,10 @@ func flatten(c *model.Class, alphabet []string) (*flatAutomaton, error) {
 	}
 	f.start = protoNode[protocol.Start()]
 
-	// Behavior DFA per operation, built once.
+	// Behavior DFA per operation, built (or cache-retrieved) once.
 	behavior := make(map[string]*automata.DFA, len(c.Operations))
 	for _, op := range c.Operations {
-		behavior[op.Name] = automata.CompileMinimal(regex.Simplify(core.Infer(op.Method.Program)))
+		behavior[op.Name] = cfg.behaviorDFA(op.Method.Program)
 	}
 
 	// Substitute each protocol transition p --m--> q with a copy of

@@ -4,6 +4,7 @@ import (
 	"github.com/shelley-go/shelley/internal/automata"
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/regex"
 )
 
@@ -12,6 +13,10 @@ type Option func(*config)
 
 type config struct {
 	precise bool
+
+	// cache memoizes the expensive pipeline stages; nil disables
+	// memoization (see WithCache).
+	cache *pipeline.Cache
 }
 
 // Precise switches the composite analysis to *exit-aware* flattening:
@@ -41,7 +46,7 @@ func buildConfig(opts []Option) config {
 // Operations whose body can fall off the end without returning
 // contribute a pseudo-exit with the ongoing behavior and no
 // continuations.
-func flattenExitAware(c *model.Class, alphabet []string) (*flatAutomaton, error) {
+func flattenExitAware(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, error) {
 	f := &flatAutomaton{alphabet: alphabet}
 	addState := func(accepting bool) int {
 		f.edges = append(f.edges, nil)
@@ -70,7 +75,7 @@ func flattenExitAware(c *model.Class, alphabet []string) (*flatAutomaton, error)
 			infos = append(infos, exitInfo{
 				state:    addState(op.Final),
 				next:     e.Next,
-				behavior: automata.CompileMinimal(regex.Simplify(expr)),
+				behavior: cfg.minimalDFA(regex.Simplify(expr)),
 			})
 		}
 		if !regex.IsEmptyLanguage(regex.Simplify(fine.Ongoing)) {
@@ -79,7 +84,7 @@ func flattenExitAware(c *model.Class, alphabet []string) (*flatAutomaton, error)
 			// declares nothing).
 			infos = append(infos, exitInfo{
 				state:    addState(op.Final),
-				behavior: automata.CompileMinimal(regex.Simplify(fine.Ongoing)),
+				behavior: cfg.minimalDFA(regex.Simplify(fine.Ongoing)),
 			})
 		}
 		exitsOf[op.Name] = infos
@@ -137,7 +142,7 @@ func flattenExitAware(c *model.Class, alphabet []string) (*flatAutomaton, error)
 // flattenWith picks the flattening mode.
 func flattenWith(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, error) {
 	if cfg.precise {
-		return flattenExitAware(c, alphabet)
+		return flattenExitAware(cfg, c, alphabet)
 	}
-	return flatten(c, alphabet)
+	return flatten(cfg, c, alphabet)
 }

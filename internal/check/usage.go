@@ -22,18 +22,17 @@ func checkUsage(cfg config, c *model.Class, reg Registry, subs map[string]*model
 	if err != nil {
 		return err
 	}
-	flat, err := flattenWith(cfg, c, alphabet)
+	flat, flatDFA, err := flattened(cfg, c, reg, alphabet)
 	if err != nil {
 		return err
 	}
-	flatDFA := flat.toDFA()
 
 	// Specification DFA per subsystem, qualified and completed over its
 	// own alphabet.
 	specs := make(map[string]*automata.DFA, len(subs))
 	specAlphabet := make(map[string]map[string]struct{}, len(subs))
 	for _, name := range c.SubsystemNames {
-		spec, err := subs[name].SpecDFA(name)
+		spec, err := cfg.specDFA(subs[name], name)
 		if err != nil {
 			return err
 		}

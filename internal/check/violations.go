@@ -25,15 +25,15 @@ func UsageViolations(c *model.Class, reg Registry, max int, opts ...Option) ([]V
 	if len(c.SubsystemNames) == 0 || max <= 0 {
 		return nil, nil
 	}
+	cfg := buildConfig(opts)
 	alphabet, err := subsystemAlphabet(c, reg)
 	if err != nil {
 		return nil, err
 	}
-	flat, err := flattenWith(buildConfig(opts), c, alphabet)
+	_, flatDFA, err := flattened(cfg, c, reg, alphabet)
 	if err != nil {
 		return nil, err
 	}
-	flatDFA := flat.toDFA()
 
 	var out []Violation
 	for _, name := range c.SubsystemNames {
@@ -41,7 +41,7 @@ func UsageViolations(c *model.Class, reg Registry, max int, opts ...Option) ([]V
 		if err != nil {
 			return nil, err
 		}
-		spec, err := sub.SpecDFA(name)
+		spec, err := cfg.specDFA(sub, name)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"github.com/shelley-go/shelley/internal/ir"
+	"github.com/shelley-go/shelley/internal/lower"
+)
+
+// Fingerprint returns a stable 128-bit content key (32 hex digits) of
+// everything the verification pipeline reads from the class: its name,
+// decorators, claims, subsystem declarations, and per operation the
+// modifiers, lowered body (ir canonical form), exit points (including
+// source positions, which diagnostics print), and match sites. Helpers
+// are included because the checker reports on them too.
+//
+// The fingerprint is syntactic, like ir.Fingerprint: two classes with
+// the same usage language but different bodies get distinct keys, so
+// the memoization cache (internal/pipeline) can never alias them. It is
+// computed once per class and safe for concurrent use; classes are
+// immutable after FromAST.
+func (c *Class) Fingerprint() string {
+	c.fpOnce.Do(func() { c.fp = fingerprintClass(c) })
+	return c.fp
+}
+
+// fpWriter hashes strings, bools, and counts with length prefixes so
+// the byte stream stays injective (no two distinct classes serialize
+// identically).
+type fpWriter struct{ h hash.Hash }
+
+func (w fpWriter) str(s string) {
+	w.num(len(s))
+	w.h.Write([]byte(s))
+}
+
+func (w fpWriter) num(n int) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(n))
+	w.h.Write(buf[:])
+}
+
+func (w fpWriter) flag(b bool) {
+	if b {
+		w.h.Write([]byte{1})
+	} else {
+		w.h.Write([]byte{0})
+	}
+}
+
+func (w fpWriter) tag(t byte) { w.h.Write([]byte{t}) }
+
+func fingerprintClass(c *Class) string {
+	h := sha256.New()
+	w := fpWriter{h: h}
+
+	w.str(c.Name)
+	w.flag(c.IsSys)
+	w.num(len(c.Claims))
+	for _, cl := range c.Claims {
+		w.str(cl.Formula)
+		w.str(cl.Pos.String())
+	}
+	w.num(len(c.SubsystemNames))
+	for _, name := range c.SubsystemNames {
+		w.str(name)
+		w.str(c.SubsystemTypes[name])
+	}
+	w.num(len(c.Operations))
+	for _, op := range c.Operations {
+		w.tag('O')
+		fingerprintOperation(w, op)
+	}
+	w.num(len(c.Helpers))
+	for _, helper := range c.Helpers {
+		w.tag('H')
+		fingerprintOperation(w, helper)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+func fingerprintOperation(w fpWriter, op *Operation) {
+	w.str(op.Name)
+	w.flag(op.Initial)
+	w.flag(op.Final)
+	w.flag(op.Annotated)
+	fingerprintMethod(w, op.Method)
+}
+
+func fingerprintMethod(w fpWriter, m *lower.Method) {
+	body := ir.AppendCanonical(nil, m.Program)
+	w.num(len(body))
+	w.h.Write(body)
+	w.flag(m.AlwaysReturns)
+	w.num(len(m.Exits))
+	for _, e := range m.Exits {
+		w.flag(e.Declared)
+		w.flag(e.HasValue)
+		w.str(e.Pos.String())
+		w.num(len(e.Next))
+		for _, next := range e.Next {
+			w.str(next)
+		}
+	}
+	w.num(len(m.Matches))
+	for _, site := range m.Matches {
+		w.str(site.Op)
+		w.flag(site.Wildcard)
+		w.num(len(site.Patterns))
+		for _, pattern := range site.Patterns {
+			if pattern == nil {
+				w.tag('w') // wildcard case
+				continue
+			}
+			w.tag('p')
+			w.num(len(pattern))
+			for _, label := range pattern {
+				w.str(label)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/depgraph"
@@ -86,6 +87,12 @@ type Class struct {
 	Helpers []*Operation
 
 	opIndex map[string]*Operation
+
+	// fp memoizes Fingerprint; classes are immutable after FromAST, so
+	// the content hash is computed at most once (sync.Once keeps the
+	// lazy computation race-free under CheckAllConcurrent).
+	fpOnce sync.Once
+	fp     string
 }
 
 // Operation returns the operation with the given name, or nil.

@@ -1,0 +1,248 @@
+// Package pipeline implements the memoizing analysis cache that makes
+// repeated verification near-free: a content-addressed, concurrency-safe
+// store for the expensive stages of the inference pipeline — behavior
+// regex inference (§3.2), regex→DFA compilation, protocol automata,
+// flattened composite DFAs, LTLf claim compilation, and whole-class
+// verification reports.
+//
+// Keys are stable content fingerprints (ir.Fingerprint for programs,
+// model.Class.Fingerprint for classes, regex.Key for expressions), so
+// the cache never needs explicit invalidation: a class that changes in
+// any way hashes to fresh keys, and entries for dead content simply
+// stop being hit. Two workers that race on the same key are collapsed
+// by per-entry singleflight — the first builds while the rest block on
+// the entry's ready channel — so no artifact is ever computed twice,
+// even under CheckAllConcurrent.
+//
+// Every lookup feeds the Stats observability layer: per-stage hit/miss
+// counters, build wall-time histograms, and live entry counts, exposed
+// through Module.PipelineStats and the -stats flag of the CLIs.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/core"
+	"github.com/shelley-go/shelley/internal/ir"
+	"github.com/shelley-go/shelley/internal/ltlf"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+// Stage identifies one cached stage of the analysis pipeline.
+type Stage int
+
+const (
+	// StageBehavior memoizes behavior regex inference: ⟦p⟧ for one
+	// method body (raw and simplified forms, keyed by ir.Fingerprint).
+	StageBehavior Stage = iota
+
+	// StageDFA memoizes regex→automaton compilation (derivative NFA
+	// construction, determinization, and minimization; keyed by the
+	// canonical regex key).
+	StageDFA
+
+	// StageSpec memoizes class usage-protocol automata (SpecDFA, keyed
+	// by class fingerprint and qualification prefix).
+	StageSpec
+
+	// StageFlatten memoizes flattened composite behavior automata —
+	// the ε-NFA substitution plus its determinization (keyed by the
+	// class fingerprint, analysis mode, and every subsystem
+	// fingerprint).
+	StageFlatten
+
+	// StageClaim memoizes compiled LTLf claim-violation automata
+	// (keyed by formula text and alphabet).
+	StageClaim
+
+	// StageReport memoizes whole-class verification reports (keyed
+	// like StageFlatten); a warm Check is a lookup plus a deep copy.
+	StageReport
+
+	numStages int = iota
+)
+
+// String names the stage as shown in stats output.
+func (s Stage) String() string {
+	switch s {
+	case StageBehavior:
+		return "behavior"
+	case StageDFA:
+		return "dfa"
+	case StageSpec:
+		return "spec"
+	case StageFlatten:
+		return "flatten"
+	case StageClaim:
+		return "claim"
+	case StageReport:
+		return "report"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// NumStages is the number of pipeline stages tracked by Stats.
+const NumStages = numStages
+
+// shardCount spreads entries over independently locked maps so that
+// concurrent workers contend only when they touch the same key range.
+// A power of two keeps the index computation a mask.
+const shardCount = 32
+
+// Cache is the memoization store. The zero value is not usable; create
+// caches with New. A nil *Cache is valid everywhere and disables
+// memoization (every lookup builds), which lets callers thread
+// "caching off" without branching.
+type Cache struct {
+	shards [shardCount]shard
+	stats  [numStages]stageCounters
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is one singleflight cell: ready is closed once val/err are
+// final, and waiters block on it instead of rebuilding.
+type entry struct {
+	ready chan struct{}
+	val   any
+	err   error
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+	}
+	return c
+}
+
+func shardIndex(key string) int {
+	// FNV-1a over the key; cheaper than importing hash/fnv per call.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (shardCount - 1))
+}
+
+// Do returns the cached value for (stage, key), building it with build
+// on first use. Concurrent callers of the same key share one build:
+// exactly one goroutine runs build while the others wait, so the cost
+// of every artifact is paid once regardless of worker count. Build
+// errors are cached too — the pipeline is deterministic, so an error is
+// as content-addressed as a value. A nil receiver bypasses the cache.
+func (c *Cache) Do(stage Stage, key string, build func() (any, error)) (any, error) {
+	if c == nil {
+		return build()
+	}
+	k := string(rune('0'+int(stage))) + key
+	sh := &c.shards[shardIndex(k)]
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		sh.mu.Unlock()
+		<-e.ready
+		c.stats[stage].hits.Add(1)
+		return e.val, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			// Never strand waiters on a panicking build: publish an
+			// error, release them, and re-panic.
+			e.err = fmt.Errorf("pipeline: %s build for key %q panicked: %v", stage, key, r)
+			close(e.ready)
+			panic(r)
+		}
+	}()
+	e.val, e.err = build()
+	elapsed := time.Since(start)
+	close(e.ready)
+
+	st := &c.stats[stage]
+	st.misses.Add(1)
+	st.entries.Add(1)
+	st.buildNanos.Add(int64(elapsed))
+	st.buckets[bucketIndex(elapsed)].Add(1)
+	return e.val, e.err
+}
+
+// Memo is the typed form of Do. A nil cache builds directly.
+func Memo[T any](c *Cache, stage Stage, key string, build func() (T, error)) (T, error) {
+	if c == nil {
+		return build()
+	}
+	v, err := c.Do(stage, key, func() (any, error) { return build() })
+	if err != nil || v == nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// SpecKey is the canonical StageSpec key for a class fingerprint and
+// qualification prefix. Exposed so every caller (the checker and the
+// public API) shares one entry per automaton.
+func SpecKey(classFingerprint, prefix string) string {
+	return classFingerprint + "|" + prefix
+}
+
+// Infer returns ⟦p⟧ in the paper-verbatim (unsimplified) form,
+// memoized under StageBehavior.
+func (c *Cache) Infer(p ir.Program) regex.Regex {
+	r, _ := Memo(c, StageBehavior, "raw|"+ir.Fingerprint(p), func() (regex.Regex, error) {
+		return core.Infer(p), nil
+	})
+	return r
+}
+
+// InferSimplified returns the language-preserving normalization of
+// ⟦p⟧, memoized under StageBehavior.
+func (c *Cache) InferSimplified(p ir.Program) regex.Regex {
+	r, _ := Memo(c, StageBehavior, "simp|"+ir.Fingerprint(p), func() (regex.Regex, error) {
+		return regex.Simplify(core.Infer(p)), nil
+	})
+	return r
+}
+
+// MinimalDFA compiles r to its minimal DFA, memoized under StageDFA by
+// the canonical regex key. Cached automata are shared read-only; all
+// DFA algorithms in internal/automata are non-mutating, and public API
+// boundaries clone before handing automata to callers.
+func (c *Cache) MinimalDFA(r regex.Regex) *automata.DFA {
+	d, _ := Memo(c, StageDFA, regex.Key(r), func() (*automata.DFA, error) {
+		return automata.CompileMinimal(r), nil
+	})
+	return d
+}
+
+// BehaviorDFA is the fused hot path of flattening: the minimal DFA of
+// the simplified behavior of one method body, with both intermediate
+// stages memoized.
+func (c *Cache) BehaviorDFA(p ir.Program) *automata.DFA {
+	return c.MinimalDFA(c.InferSimplified(p))
+}
+
+// ClaimNegation compiles the violation automaton of an LTLf claim,
+// memoized under StageClaim. formulaText must be the source text of f
+// (it is the key; two formulas with equal text are equal).
+func (c *Cache) ClaimNegation(f ltlf.Formula, formulaText string, alphabet []string) *automata.DFA {
+	key := formulaText + "\x00" + strings.Join(alphabet, "\x00")
+	d, _ := Memo(c, StageClaim, key, func() (*automata.DFA, error) {
+		return ltlf.CompileNegation(f, alphabet), nil
+	})
+	return d
+}

@@ -1,0 +1,282 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/ir"
+	"github.com/shelley-go/shelley/internal/ltlf"
+	"github.com/shelley-go/shelley/internal/regex"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	c := New()
+	builds := 0
+	build := func() (any, error) { builds++; return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Do(StageDFA, "k", build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("got %v", v)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	st := c.Stats().Of(StageDFA)
+	if st.Hits != 4 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 4 hits / 1 miss / 1 entry", st)
+	}
+}
+
+func TestDoKeysAreStageScoped(t *testing.T) {
+	c := New()
+	v1, _ := c.Do(StageDFA, "same", func() (any, error) { return "dfa", nil })
+	v2, _ := c.Do(StageSpec, "same", func() (any, error) { return "spec", nil })
+	if v1.(string) != "dfa" || v2.(string) != "spec" {
+		t.Fatalf("stages share entries: %v, %v", v1, v2)
+	}
+}
+
+func TestDoCachesErrors(t *testing.T) {
+	c := New()
+	builds := 0
+	want := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		_, err := c.Do(StageReport, "k", func() (any, error) { builds++; return nil, want })
+		if !errors.Is(err, want) {
+			t.Fatalf("got %v, want %v", err, want)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failing build ran %d times, want 1 (errors are cached)", builds)
+	}
+}
+
+func TestNilCacheBuildsEveryTime(t *testing.T) {
+	var c *Cache
+	builds := 0
+	for i := 0; i < 3; i++ {
+		v, err := c.Do(StageDFA, "k", func() (any, error) { builds++; return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != i {
+			t.Fatalf("nil cache returned stale value %v", v)
+		}
+	}
+	if builds != 3 {
+		t.Fatalf("nil cache built %d times, want 3", builds)
+	}
+	// The typed helpers must be nil-safe too.
+	p := ir.MustParse("a(); b()")
+	if got := c.Infer(p).String(); got == "" {
+		t.Fatal("nil cache Infer returned empty regex")
+	}
+	if d := c.MinimalDFA(regex.MustParse("a . b")); d == nil || !d.Accepts([]string{"a", "b"}) {
+		t.Fatal("nil cache MinimalDFA broken")
+	}
+	if got := c.Stats(); len(got.Stages) != NumStages {
+		t.Fatalf("nil cache stats has %d stages, want %d", len(got.Stages), NumStages)
+	}
+}
+
+// TestSingleflight hammers one key from many goroutines: exactly one
+// build must run, every caller must see its value, and a gate channel
+// makes sure the callers really do overlap with the in-flight build.
+func TestSingleflight(t *testing.T) {
+	c := New()
+	const goroutines = 32
+	var builds atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Do(StageFlatten, "hot", func() (any, error) {
+				builds.Add(1)
+				<-gate // hold the build open until all goroutines queued
+				return "built", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds for one key, want 1", n)
+	}
+	for g, v := range results {
+		if v.(string) != "built" {
+			t.Fatalf("goroutine %d saw %v", g, v)
+		}
+	}
+	st := c.Stats().Of(StageFlatten)
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("stats %+v, want 1 miss / %d hits", st, goroutines-1)
+	}
+}
+
+// TestConcurrentDistinctKeys checks shard safety under parallel inserts.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i)
+				v, err := c.Do(StageBehavior, key, func() (any, error) { return key, nil })
+				if err != nil || v.(string) != key {
+					t.Errorf("key %q: got %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats().Of(StageBehavior); st.Entries != 8*200 {
+		t.Fatalf("%d entries, want %d", st.Entries, 8*200)
+	}
+}
+
+func TestMemoTyped(t *testing.T) {
+	c := New()
+	v, err := Memo(c, StageClaim, "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	// A cached error yields the zero value, not a stale one.
+	_, err = Memo(c, StageClaim, "bad", func() (*int, error) { return nil, errors.New("x") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	p, err := Memo(c, StageClaim, "bad", func() (*int, error) { t.Fatal("rebuilt"); return nil, nil })
+	if err == nil || p != nil {
+		t.Fatalf("cached error lost: %v, %v", p, err)
+	}
+}
+
+func TestInferMatchesCore(t *testing.T) {
+	c := New()
+	p := ir.MustParse("loop(*) { a(); if(*) { b(); return } else { c() } }")
+	raw := c.Infer(p)
+	simp := c.InferSimplified(p)
+	if !regex.Equivalent(raw, simp) {
+		t.Fatal("simplified behavior changed the language")
+	}
+	// Warm path returns the identical artifact.
+	if c.Infer(p).String() != raw.String() {
+		t.Fatal("warm Infer differs")
+	}
+	d1 := c.BehaviorDFA(p)
+	d2 := c.BehaviorDFA(p)
+	if d1 != d2 {
+		t.Fatal("warm BehaviorDFA is not the shared cached automaton")
+	}
+}
+
+func TestClaimNegationCachedByTextAndAlphabet(t *testing.T) {
+	c := New()
+	f := ltlf.MustParse("(!a) W b")
+	d1 := c.ClaimNegation(f, "(!a) W b", []string{"a", "b"})
+	d2 := c.ClaimNegation(f, "(!a) W b", []string{"a", "b"})
+	if d1 != d2 {
+		t.Fatal("same formula and alphabet must share one cached automaton")
+	}
+	// A different alphabet is a different language — it must not alias.
+	d3 := c.ClaimNegation(f, "(!a) W b", []string{"a", "b", "c"})
+	if d3 == d1 {
+		t.Fatal("distinct alphabets alias one cache entry")
+	}
+	if len(d3.Alphabet()) == len(d1.Alphabet()) {
+		t.Fatal("alphabet extension lost")
+	}
+	if st := c.Stats().Of(StageClaim); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 2 misses / 1 hit", st)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := New()
+	_, _ = c.Do(StageDFA, "k", func() (any, error) { return 1, nil })
+	_, _ = c.Do(StageDFA, "k", func() (any, error) { return 1, nil })
+	out := c.Stats().String()
+	for _, want := range []string{"pipeline cache:", "behavior", "dfa", "spec", "flatten", "claim", "report"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	s := c.Stats()
+	if s.TotalHits() != 1 || s.TotalMisses() != 1 {
+		t.Fatalf("totals: %d hits / %d misses, want 1/1", s.TotalHits(), s.TotalMisses())
+	}
+	if hr := s.Of(StageDFA).HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", hr)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageBehavior: "behavior",
+		StageDFA:      "dfa",
+		StageSpec:     "spec",
+		StageFlatten:  "flatten",
+		StageClaim:    "claim",
+		StageReport:   "report",
+	}
+	if len(want) != NumStages {
+		t.Fatalf("test covers %d stages, package has %d", len(want), NumStages)
+	}
+	seen := map[string]bool{}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestPanicReleasesWaiters ensures a panicking build cannot strand
+// concurrent waiters: they must observe an error, and the panic must
+// still propagate to the building goroutine.
+func TestPanicReleasesWaiters(t *testing.T) {
+	c := New()
+	gate := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		<-gate
+		_, err := c.Do(StageDFA, "p", func() (any, error) { return "never", nil })
+		waiterDone <- err
+	}()
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		_, _ = c.Do(StageDFA, "p", func() (any, error) {
+			close(gate)
+			// Give the waiter a chance to block on the entry.
+			panic("kaboom")
+		})
+	}()
+	if r := <-panicked; r == nil {
+		t.Fatal("panic did not propagate to the builder")
+	}
+	if err := <-waiterDone; err == nil {
+		t.Fatal("waiter saw no error from the panicked build")
+	}
+}

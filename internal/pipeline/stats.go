@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the inclusive upper bounds of the build wall-time
+// histogram; one overflow bucket follows the last bound. The spread
+// covers the observed range of the pipeline, from sub-microsecond
+// behavior inference to multi-millisecond flatten/claim products.
+var bucketBounds = [...]time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+}
+
+// NumBuckets is the number of histogram buckets per stage (the bounds
+// plus one overflow bucket).
+const NumBuckets = len(bucketBounds) + 1
+
+func bucketIndex(d time.Duration) int {
+	for i, bound := range bucketBounds {
+		if d <= bound {
+			return i
+		}
+	}
+	return len(bucketBounds)
+}
+
+// BucketLabels returns the histogram column labels, in bucket order.
+func BucketLabels() []string {
+	out := make([]string, 0, NumBuckets)
+	for _, bound := range bucketBounds {
+		out = append(out, "≤"+bound.String())
+	}
+	return append(out, ">"+bucketBounds[len(bucketBounds)-1].String())
+}
+
+// stageCounters are the live atomics behind one stage's statistics.
+type stageCounters struct {
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	entries    atomic.Uint64
+	buildNanos atomic.Int64
+	buckets    [NumBuckets]atomic.Uint64
+}
+
+// StageStats is a point-in-time snapshot of one stage.
+type StageStats struct {
+	// Stage is the stage name (Stage.String()).
+	Stage string
+
+	// Hits counts lookups served from the cache, including waiters
+	// that piggybacked on an in-flight build.
+	Hits uint64
+
+	// Misses counts builds actually executed.
+	Misses uint64
+
+	// Entries is the number of cached artifacts (equal to Misses:
+	// entries are never evicted; content-addressing makes stale
+	// entries unreachable rather than wrong).
+	Entries uint64
+
+	// BuildTime is the total wall time spent in builds.
+	BuildTime time.Duration
+
+	// Buckets is the build wall-time histogram (see BucketLabels).
+	Buckets [NumBuckets]uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s StageStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats is a snapshot of every stage, in Stage order.
+type Stats struct {
+	Stages []StageStats
+}
+
+// Stats snapshots the cache's counters. A nil cache yields all-zero
+// stats (stage names included, so renderers need no special case).
+func (c *Cache) Stats() Stats {
+	out := Stats{Stages: make([]StageStats, numStages)}
+	for i := range out.Stages {
+		st := &out.Stages[i]
+		st.Stage = Stage(i).String()
+		if c == nil {
+			continue
+		}
+		cnt := &c.stats[i]
+		st.Hits = cnt.hits.Load()
+		st.Misses = cnt.misses.Load()
+		st.Entries = cnt.entries.Load()
+		st.BuildTime = time.Duration(cnt.buildNanos.Load())
+		for b := range st.Buckets {
+			st.Buckets[b] = cnt.buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// Of returns the snapshot of one stage.
+func (s Stats) Of(stage Stage) StageStats {
+	if int(stage) < 0 || int(stage) >= len(s.Stages) {
+		return StageStats{Stage: stage.String()}
+	}
+	return s.Stages[stage]
+}
+
+// TotalHits sums hits over every stage.
+func (s Stats) TotalHits() uint64 {
+	var n uint64
+	for _, st := range s.Stages {
+		n += st.Hits
+	}
+	return n
+}
+
+// TotalMisses sums misses over every stage.
+func (s Stats) TotalMisses() uint64 {
+	var n uint64
+	for _, st := range s.Stages {
+		n += st.Misses
+	}
+	return n
+}
+
+// String renders the snapshot as the aligned table printed by the
+// -stats flag of shelleyc and shelleysim.
+func (s Stats) String() string {
+	var b strings.Builder
+	b.WriteString("pipeline cache:\n")
+	header := append([]string{"stage", "hits", "misses", "entries", "hit%", "build-time"}, BucketLabels()...)
+	rows := [][]string{header}
+	for _, st := range s.Stages {
+		row := []string{
+			st.Stage,
+			fmt.Sprintf("%d", st.Hits),
+			fmt.Sprintf("%d", st.Misses),
+			fmt.Sprintf("%d", st.Entries),
+			fmt.Sprintf("%.0f%%", st.HitRate()*100),
+			st.BuildTime.Round(time.Microsecond).String(),
+		}
+		for _, n := range st.Buckets {
+			row = append(row, fmt.Sprintf("%d", n))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if w := len([]rune(cell)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	for _, row := range rows {
+		b.WriteString(" ")
+		for i, cell := range row {
+			pad := widths[i] - len([]rune(cell))
+			b.WriteString(" ")
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

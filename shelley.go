@@ -12,6 +12,7 @@ import (
 	"github.com/shelley-go/shelley/internal/learn"
 	"github.com/shelley-go/shelley/internal/model"
 	"github.com/shelley-go/shelley/internal/nusmv"
+	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/pyast"
 	"github.com/shelley-go/shelley/internal/pyexec"
 	"github.com/shelley-go/shelley/internal/pyparse"
@@ -46,12 +47,24 @@ type (
 	// Violation is one invalid complete usage found by UsageViolations.
 	Violation = check.Violation
 
+	// Option configures Check/FlattenedDFA/UsageViolations (e.g.
+	// Precise, check.WithCache).
+	Option = check.Option
+
 	// Board is an emulated GPIO board (internal/hw).
 	Board = hw.Board
 
 	// Device is a concretely executing instance of a base class: its
 	// method bodies run against real emulated pins (internal/pyexec).
 	Device = pyexec.Object
+
+	// PipelineStats is the observability snapshot of the module's
+	// memoizing analysis cache: per-stage hit/miss counters, entry
+	// counts, and build wall-time histograms.
+	PipelineStats = pipeline.Stats
+
+	// PipelineStageStats is the per-stage slice of PipelineStats.
+	PipelineStageStats = pipeline.StageStats
 )
 
 // NewBoard returns an empty emulated GPIO board.
@@ -67,11 +80,18 @@ const (
 	KindClaimFailure          = check.KindClaimFailure
 )
 
-// Module is a loaded MicroPython source file: its classes and the
-// registry used to resolve subsystem types.
+// Module is a loaded MicroPython source file: its classes, the registry
+// used to resolve subsystem types, and the memoizing analysis cache
+// shared by every verification entry point of the module.
 type Module struct {
 	classes  []*Class
 	registry check.Registry
+
+	// cache memoizes the expensive pipeline stages across all classes
+	// and all Check/Behavior/SpecDFA/FlattenedDFA calls of the module,
+	// including concurrent ones (CheckAllConcurrent workers share it).
+	// nil when caching is disabled via SetPipelineCaching(false).
+	cache *pipeline.Cache
 }
 
 // LoadSource parses and models every class of a MicroPython source
@@ -81,7 +101,7 @@ func LoadSource(src string) (*Module, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shelley: %w", err)
 	}
-	m := &Module{registry: check.Registry{}}
+	m := &Module{registry: check.Registry{}, cache: pipeline.New()}
 	for _, cls := range ast.Classes {
 		mc, err := model.FromAST(cls)
 		if err != nil {
@@ -105,7 +125,7 @@ func LoadFile(path string) (*Module, error) {
 // LoadFiles loads several files into one module, so composites can
 // reference classes defined elsewhere.
 func LoadFiles(paths ...string) (*Module, error) {
-	merged := &Module{registry: check.Registry{}}
+	merged := &Module{registry: check.Registry{}, cache: pipeline.New()}
 	for _, p := range paths {
 		m, err := LoadFile(p)
 		if err != nil {
@@ -121,6 +141,25 @@ func LoadFiles(paths ...string) (*Module, error) {
 		}
 	}
 	return merged, nil
+}
+
+// PipelineStats returns a snapshot of the module's analysis-cache
+// counters: per-stage hits, misses, entry counts, and build wall-time
+// histograms. Safe to call concurrently with checking. With caching
+// disabled the snapshot is all zeroes.
+func (m *Module) PipelineStats() PipelineStats { return m.cache.Stats() }
+
+// SetPipelineCaching turns the module's memoization cache on or off.
+// Turning it on installs a fresh (empty) cache; turning it off makes
+// every subsequent analysis recompute from scratch — the differential
+// tests use this to compare cached and uncached runs. Not safe to call
+// concurrently with checking.
+func (m *Module) SetPipelineCaching(on bool) {
+	if on {
+		m.cache = pipeline.New()
+	} else {
+		m.cache = nil
+	}
 }
 
 // Classes returns the module's classes in source order.
@@ -180,8 +219,16 @@ func (c *Class) Claims() []string {
 
 // Check runs the full verification pipeline on the class. Options:
 // shelley.Precise switches to exit-aware flattening (see DESIGN.md §6).
+// Results are memoized in the module's pipeline cache; later options
+// win, so callers can override the cache per call via check.WithCache.
 func (c *Class) Check(opts ...check.Option) (*Report, error) {
-	return check.Check(c.model, c.module.registry, opts...)
+	return check.Check(c.model, c.module.registry, c.withModuleCache(opts)...)
+}
+
+// withModuleCache prepends the module cache option so user-passed
+// options can still override it.
+func (c *Class) withModuleCache(opts []check.Option) []check.Option {
+	return append([]check.Option{check.WithCache(c.module.cache)}, opts...)
 }
 
 // Precise is re-exported from the checker: exit-aware flattening that
@@ -196,7 +243,7 @@ func (c *Class) Behavior(op string) (string, error) {
 	if o == nil {
 		return "", fmt.Errorf("shelley: class %s has no operation %q", c.Name(), op)
 	}
-	return o.Behavior().String(), nil
+	return c.module.cache.Infer(o.Method.Program).String(), nil
 }
 
 // BehaviorSimplified is Behavior after language-preserving
@@ -206,7 +253,7 @@ func (c *Class) BehaviorSimplified(op string) (string, error) {
 	if o == nil {
 		return "", fmt.Errorf("shelley: class %s has no operation %q", c.Name(), op)
 	}
-	return regex.Simplify(o.Behavior()).String(), nil
+	return c.module.cache.InferSimplified(o.Method.Program).String(), nil
 }
 
 // ProtocolDiagram renders the Fig. 1-style usage diagram as Graphviz
@@ -228,17 +275,34 @@ func (c *Class) DependencyDiagram() (string, error) {
 // elimination) — a compact, printable form of Corollary 1 applied to
 // the class itself.
 func (c *Class) ProtocolRegex() (string, error) {
-	d, err := c.model.SpecDFA("")
+	d, err := c.specDFA("")
 	if err != nil {
 		return "", err
 	}
 	return regex.Simplify(d.Minimize().ToRegex()).String(), nil
 }
 
+// specDFA is the cached protocol automaton, shared read-only with the
+// checker (same StageSpec key). The result must not be mutated; public
+// boundaries clone.
+func (c *Class) specDFA(prefix string) (*DFA, error) {
+	return pipeline.Memo(c.module.cache, pipeline.StageSpec,
+		pipeline.SpecKey(c.model.Fingerprint(), prefix),
+		func() (*DFA, error) { return c.model.SpecDFA(prefix) })
+}
+
 // SpecDFA returns the class's usage-protocol automaton; operation names
-// are prefixed with prefix+"." when prefix is non-empty.
+// are prefixed with prefix+"." when prefix is non-empty. The caller
+// owns the returned automaton.
 func (c *Class) SpecDFA(prefix string) (*DFA, error) {
-	return c.model.SpecDFA(prefix)
+	d, err := c.specDFA(prefix)
+	if err != nil {
+		return nil, err
+	}
+	if c.module.cache != nil {
+		d = d.Clone()
+	}
+	return d, nil
 }
 
 // NewInstance creates a simulated object of the class.
@@ -255,7 +319,7 @@ func (c *Class) NewSystem(opts ...interp.Option) (*System, error) {
 // UsageViolations enumerates up to max distinct invalid complete usages
 // per subsystem, shortest first.
 func (c *Class) UsageViolations(max int, opts ...check.Option) ([]Violation, error) {
-	return check.UsageViolations(c.model, c.module.registry, max, opts...)
+	return check.UsageViolations(c.model, c.module.registry, max, c.withModuleCache(opts)...)
 }
 
 // ReplayFlat drives the class's subsystem instances directly with a
@@ -283,7 +347,7 @@ func (c *Class) NewDevice(board *Board) (*Device, error) {
 // operations (for composites) or its own protocol automaton (for base
 // classes) — the object claims are verified against.
 func (c *Class) FlattenedDFA(opts ...check.Option) (*DFA, error) {
-	return check.FlattenedDFA(c.model, c.module.registry, opts...)
+	return check.FlattenedDFA(c.model, c.module.registry, c.withModuleCache(opts)...)
 }
 
 // ExportNuSMV renders the class's model as a NuSMV module, the backend
@@ -319,7 +383,7 @@ func (c *Class) RunTrace(trace []string) bool {
 // exactly the specified protocol. Use together with NewInstance /
 // NewDevice to test implementations against the model.
 func (c *Class) ConformanceSuite(extraStates int) ([][]string, error) {
-	spec, err := c.model.SpecDFA("")
+	spec, err := c.specDFA("")
 	if err != nil {
 		return nil, err
 	}
