@@ -1,0 +1,124 @@
+// Package client is the Go client for shelleyd, the resident
+// verification-service daemon, and the home of its wire types. The
+// server (internal/server) imports this package for the request and
+// response schemas, so client and daemon can never drift: there is
+// exactly one definition of every JSON body that crosses the wire.
+package client
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	shelley "github.com/shelley-go/shelley"
+)
+
+// Fingerprint returns the content fingerprint of a MicroPython source
+// body: the key under which shelleyd keeps the loaded module (and its
+// warm pipeline cache) resident. Clients that have POSTed a source
+// once can re-check it cache-only by sending the fingerprint alone.
+func Fingerprint(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// CheckRequest asks for full verification reports. Exactly one of
+// Source and Fingerprint must be set: Source carries MicroPython text
+// (loaded, checked, and made resident), Fingerprint names an
+// already-resident module for a cache-only re-check (404 when the
+// module is not resident).
+type CheckRequest struct {
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Class restricts checking to one class; empty checks every class
+	// in source order.
+	Class string `json:"class,omitempty"`
+
+	// Precise switches to exit-aware flattening (shelley.Precise).
+	Precise bool `json:"precise,omitempty"`
+}
+
+// CheckResponse is the outcome of a /v1/check request.
+type CheckResponse struct {
+	// Fingerprint identifies the (now resident) module; send it back
+	// in later requests to skip re-uploading the source.
+	Fingerprint string `json:"fingerprint"`
+
+	// OK reports whether every checked class verified clean.
+	OK bool `json:"ok"`
+
+	// Reports are the per-class verification reports, in source order
+	// (or the single requested class).
+	Reports []*shelley.Report `json:"reports"`
+}
+
+// InferRequest asks for inferred per-operation behavior regexes
+// (the paper's §3.2 inference) of one class.
+type InferRequest struct {
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Class names the class to infer; required.
+	Class string `json:"class"`
+
+	// Operation restricts inference to one operation; empty infers
+	// every operation in source order.
+	Operation string `json:"operation,omitempty"`
+}
+
+// OperationBehavior is one operation's inferred behavior.
+type OperationBehavior struct {
+	Operation string `json:"operation"`
+
+	// Behavior is ⟦p⟧ in the paper-verbatim concrete syntax.
+	Behavior string `json:"behavior"`
+
+	// Simplified is the language-preserving normalization of Behavior.
+	Simplified string `json:"simplified"`
+}
+
+// InferResponse is the outcome of a /v1/infer request.
+type InferResponse struct {
+	Fingerprint string              `json:"fingerprint"`
+	Class       string              `json:"class"`
+	Behaviors   []OperationBehavior `json:"behaviors"`
+}
+
+// TraceRequest asks whether a call sequence is a valid complete usage
+// of a class (the membership oracle), optionally also replaying it as
+// a flattened qualified trace against live subsystem instances.
+type TraceRequest struct {
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Class names the class to drive; required.
+	Class string `json:"class"`
+
+	// Trace is the call sequence (operation names; qualified
+	// "subsystem.op" names when Replay is set on a composite).
+	Trace []string `json:"trace"`
+
+	// Replay additionally replays the trace with Class.ReplayFlat and
+	// reports the first protocol error.
+	Replay bool `json:"replay,omitempty"`
+}
+
+// TraceResponse is the outcome of a /v1/trace request.
+type TraceResponse struct {
+	Fingerprint string   `json:"fingerprint"`
+	Class       string   `json:"class"`
+	Trace       []string `json:"trace"`
+
+	// Accepted reports trace membership under the specification
+	// (angelic) semantics.
+	Accepted bool `json:"accepted"`
+
+	// ReplayError is the first protocol error of the flattened replay
+	// (Replay requests only); empty for a clean complete usage.
+	ReplayError string `json:"replay_error,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

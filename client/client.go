@@ -1,0 +1,208 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a running shelleyd.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:9944". The default underlying http.Client has no
+// timeout of its own — deadlines come from the caller's context.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	// StatusCode is the HTTP status (404 unknown class/module, 503
+	// queue saturated or draining, 504 deadline exceeded, ...).
+	StatusCode int
+
+	// Message is the server's error text.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("shelleyd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Check POSTs /v1/check: full verification reports for a source (or a
+// resident-module fingerprint).
+func (c *Client) Check(ctx context.Context, req CheckRequest) (*CheckResponse, error) {
+	var resp CheckResponse
+	if err := c.post(ctx, "/v1/check", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Infer POSTs /v1/infer: per-operation behavior regexes of one class.
+func (c *Client) Infer(ctx context.Context, req InferRequest) (*InferResponse, error) {
+	var resp InferResponse
+	if err := c.post(ctx, "/v1/infer", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Trace POSTs /v1/trace: trace membership and optional flattened
+// replay.
+func (c *Client) Trace(ctx context.Context, req TraceRequest) (*TraceResponse, error) {
+	var resp TraceResponse
+	if err := c.post(ctx, "/v1/trace", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz GETs /healthz; nil means the daemon is up and accepting
+// work (a draining daemon reports unhealthy).
+func (c *Client) Healthz(ctx context.Context) error {
+	body, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	_ = body
+	return nil
+}
+
+// Metrics GETs /metrics and returns the raw text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	return c.get(ctx, "/metrics")
+}
+
+// MetricValue GETs /metrics and extracts one metric by name (labels
+// included, e.g. `shelleyd_requests_total{endpoint="check",code="200"}`).
+// ok is false when the metric is absent.
+func (c *Client) MetricValue(ctx context.Context, name string) (value float64, ok bool, err error) {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return 0, false, err
+	}
+	v, ok := ParseMetric(text, name)
+	return v, ok, nil
+}
+
+// ParseMetric extracts one metric from a /metrics exposition by exact
+// name (labels included). ok is false when absent.
+func ParseMetric(text, name string) (value float64, ok bool) {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, val, found := strings.Cut(line, " ")
+		if !found || metric != name {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// WaitReady polls /healthz until the daemon answers healthy or the
+// deadline passes — the startup handshake used by tests and the
+// selfcheck load generator.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	for {
+		if err := c.Healthz(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("client: daemon at %s not ready: %w", c.base, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode/100 != 2 {
+		return apiError(httpResp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, resp); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+func (c *Client) get(ctx context.Context, path string) (string, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return "", err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return "", err
+	}
+	if httpResp.StatusCode/100 != 2 {
+		return "", apiError(httpResp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
+
+func apiError(status int, body []byte) error {
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return &APIError{StatusCode: status, Message: e.Error}
+	}
+	return &APIError{StatusCode: status, Message: strings.TrimSpace(string(body))}
+}

@@ -1,0 +1,46 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	a, b := Fingerprint("class A: pass"), Fingerprint("class B: pass")
+	if a == b {
+		t.Error("distinct sources must fingerprint differently")
+	}
+	if a != Fingerprint("class A: pass") {
+		t.Error("fingerprint must be deterministic")
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Errorf("fingerprint %q lacks algorithm prefix", a)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	text := `# HELP shelleyd_coalesced_total x
+# TYPE shelleyd_coalesced_total counter
+shelleyd_coalesced_total 7
+shelleyd_requests_total{endpoint="check",code="200"} 41
+shelleyd_queue_depth 0
+`
+	if v, ok := ParseMetric(text, "shelleyd_coalesced_total"); !ok || v != 7 {
+		t.Errorf("coalesced = %v, %v", v, ok)
+	}
+	if v, ok := ParseMetric(text, `shelleyd_requests_total{endpoint="check",code="200"}`); !ok || v != 41 {
+		t.Errorf("labeled metric = %v, %v", v, ok)
+	}
+	if _, ok := ParseMetric(text, "absent_metric"); ok {
+		t.Error("absent metric must report !ok")
+	}
+}
+
+func TestAPIErrorRendering(t *testing.T) {
+	err := &APIError{StatusCode: 503, Message: "queue saturated"}
+	for _, want := range []string{"503", "queue saturated"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+}

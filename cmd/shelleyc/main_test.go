@@ -69,6 +69,48 @@ func TestRunNuSMVExport(t *testing.T) {
 	}
 }
 
+// TestRunExitCodeContract pins the documented exit-status contract the
+// CI and editor integrations script against: 0 every class verified,
+// 1 any diagnostic reported, 2 usage or load errors (always paired
+// with a non-nil error so main prints to stderr).
+func TestRunExitCodeContract(t *testing.T) {
+	base := filepath.Join("..", "..", "testdata")
+	cases := []struct {
+		name    string
+		args    []string
+		code    int
+		wantErr bool
+	}{
+		{"all verified", []string{filepath.Join(base, "valve.py")}, 0, false},
+		{"verified single class", append([]string{"-class", "Valve"}, paperFiles()...), 0, false},
+		{"diagnostics reported", paperFiles(), 1, false},
+		{"diagnostics in selected class", append([]string{"-class", "BadSector"}, paperFiles()...), 1, false},
+		{"no input files", nil, 2, true},
+		{"missing file", []string{filepath.Join(base, "missing.py")}, 2, true},
+		{"missing class", append([]string{"-class", "NoSuchClass"}, paperFiles()...), 2, true},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, true},
+		{"unparsable source", []string{filepath.Join(base, "golden")}, 2, true},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		code, err := run(tc.args, &out)
+		if code != tc.code {
+			t.Errorf("%s: exit code = %d, want %d (err=%v)", tc.name, code, tc.code, err)
+		}
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// The missing-class error must name the class so the caller can
+	// tell a typo from a load failure.
+	var out strings.Builder
+	_, err := run(append([]string{"-class", "NoSuchClass"}, paperFiles()...), &out)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchClass") {
+		t.Errorf("missing-class error should name the class: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if _, err := run(nil, &out); err == nil {

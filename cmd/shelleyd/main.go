@@ -1,0 +1,264 @@
+// Command shelleyd is the resident verification daemon: it keeps
+// loaded modules and their memoizing pipeline caches warm in one
+// process and serves verification over HTTP/JSON, so checking becomes
+// an online, multi-tenant operation instead of a per-invocation batch
+// script.
+//
+// Usage:
+//
+//	shelleyd [-addr HOST:PORT] [-workers N] [-queue N] [-timeout D] ...
+//	shelleyd -selfcheck [-corpus DIR] [-clients N] [-requests N]
+//
+// Serve mode runs until SIGTERM/SIGINT, then drains: new requests are
+// refused while every admitted request completes and is delivered.
+// Selfcheck mode boots an in-process daemon and hammers it with the
+// corpus (every .py under -corpus) from many concurrent clients,
+// cross-checking responses against direct library calls — a one-shot
+// load generator for smoke tests and CI.
+//
+// Endpoints: POST /v1/check, /v1/infer, /v1/trace; GET /healthz,
+// /metrics. See docs/TUTORIAL.md §9 for a curl quickstart.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/client"
+	"github.com/shelley-go/shelley/internal/server"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	code, err := run(os.Args[1:], os.Stdout, sig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shelleyd:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run is the testable body of main: sig delivers the shutdown signal
+// (tests send on it directly instead of raising a real SIGTERM).
+func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
+	fs := flag.NewFlagSet("shelleyd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9944", "listen address (port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "verification pool workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queued-job bound before 503s (0 = 4×workers)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution budget (admission to response)")
+	checkWorkers := fs.Int("check-workers", 1, "per-request CheckAllContext fan-out")
+	maxModules := fs.Int("max-modules", 256, "resident-module bound")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget on SIGTERM")
+	selfcheck := fs.Bool("selfcheck", false, "boot an in-process daemon, hammer it with the corpus, verify, exit")
+	corpus := fs.String("corpus", "testdata", "selfcheck: directory of .py sources")
+	clients := fs.Int("clients", 16, "selfcheck: concurrent clients")
+	requests := fs.Int("requests", 32, "selfcheck: requests per client")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 0 {
+		return 2, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CheckWorkers:   *checkWorkers,
+		MaxModules:     *maxModules,
+	}
+
+	if *selfcheck {
+		return runSelfcheck(out, cfg, *corpus, *clients, *requests)
+	}
+
+	srv := server.New(cfg)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "shelleyd listening on http://%s\n", bound)
+
+	got := <-sig
+	fmt.Fprintf(out, "shelleyd: %v: draining (budget %s)\n", got, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return 1, fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintln(out, "shelleyd: drained clean")
+	return 0, nil
+}
+
+// corpusSource is one selfcheck workload unit with its precomputed
+// direct-library expectation.
+type corpusSource struct {
+	name    string
+	source  string
+	fp      string
+	class   string // first class, for infer/trace requests
+	wantErr bool   // direct CheckAll fails (e.g. unresolved subsystem)
+	wantRep []byte // JSON of the direct reports when wantErr is false
+}
+
+func runSelfcheck(out io.Writer, cfg server.Config, corpusDir string, clients, requests int) (int, error) {
+	sources, err := loadCorpus(corpusDir)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "selfcheck: %d sources, %d clients × %d requests\n", len(sources), clients, requests)
+
+	srv := server.New(cfg)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 2, err
+	}
+	cl := client.New("http://" + bound)
+	ctx := context.Background()
+	if err := cl.WaitReady(ctx, 5*time.Second); err != nil {
+		return 2, err
+	}
+
+	var failures atomic.Int64
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				src := sources[(c+i)%len(sources)]
+				if err := hitOnce(ctx, cl, src, (c+i)%3); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(out, "selfcheck: %s: %v\n", src.name, err)
+				}
+				done.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		return 1, fmt.Errorf("scraping metrics: %w", err)
+	}
+	for _, name := range []string{
+		"shelleyd_coalesced_total",
+		"shelleyd_module_cache_hits_total",
+		"shelleyd_module_cache_misses_total",
+	} {
+		if v, ok := client.ParseMetric(metrics, name); ok {
+			fmt.Fprintf(out, "selfcheck: %s = %.0f\n", name, v)
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return 1, fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintf(out, "selfcheck: %d requests, %d failures, drained clean\n", done.Load(), failures.Load())
+	if failures.Load() > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// hitOnce drives one request of the mixed workload: full checks
+// (verified byte-identical against the direct library), cache-only
+// fingerprint re-checks, and infer/trace calls.
+func hitOnce(ctx context.Context, cl *client.Client, src corpusSource, mode int) error {
+	switch mode {
+	case 0: // full check with source upload
+		resp, err := cl.Check(ctx, client.CheckRequest{Source: src.source})
+		return verifyCheck(src, resp, err)
+	case 1: // cache-only re-check by fingerprint (fall back to upload on 404)
+		resp, err := cl.Check(ctx, client.CheckRequest{Fingerprint: src.fp})
+		if apiErr, ok := err.(*client.APIError); ok && apiErr.StatusCode == 404 {
+			resp, err = cl.Check(ctx, client.CheckRequest{Source: src.source})
+		}
+		return verifyCheck(src, resp, err)
+	default: // infer + trace on the first class
+		if src.class == "" {
+			return nil
+		}
+		if _, err := cl.Infer(ctx, client.InferRequest{Source: src.source, Class: src.class}); err != nil {
+			return fmt.Errorf("infer: %w", err)
+		}
+		if _, err := cl.Trace(ctx, client.TraceRequest{Source: src.source, Class: src.class, Trace: nil}); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		return nil
+	}
+}
+
+func verifyCheck(src corpusSource, resp *client.CheckResponse, err error) error {
+	if src.wantErr {
+		if err == nil {
+			return fmt.Errorf("check unexpectedly succeeded (direct CheckAll fails)")
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	got, merr := json.Marshal(resp.Reports)
+	if merr != nil {
+		return merr
+	}
+	if !bytes.Equal(got, src.wantRep) {
+		return fmt.Errorf("reports differ from direct library call:\nserver: %s\ndirect: %s", got, src.wantRep)
+	}
+	return nil
+}
+
+func loadCorpus(dir string) ([]corpusSource, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.py"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []corpusSource
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		src := corpusSource{name: filepath.Base(p), source: string(b), fp: client.Fingerprint(string(b))}
+		mod, err := shelley.LoadFile(p)
+		if err != nil {
+			continue // unparsable files are not workload
+		}
+		if classes := mod.Classes(); len(classes) > 0 {
+			src.class = classes[0].Name()
+		}
+		reports, err := mod.CheckAll()
+		if err != nil {
+			src.wantErr = true
+		} else {
+			src.wantRep, err = json.Marshal(reports)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, src)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no loadable .py sources under %s", dir)
+	}
+	return out, nil
+}

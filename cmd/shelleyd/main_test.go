@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/shelley-go/shelley/client"
+)
+
+// syncBuffer is an io.Writer safe for the serve goroutine and the test
+// to share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRE = regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+
+// TestRunServeSIGTERMDrain drives the daemon exactly as an init system
+// would: start, serve traffic, SIGTERM, and expect a clean drain with
+// exit code 0.
+func TestRunServeSIGTERMDrain(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	out := &syncBuffer{}
+	done := make(chan struct{})
+	var code int
+	var runErr error
+	go func() {
+		defer close(done)
+		code, runErr = run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, out, sig)
+	}()
+
+	// Wait for the bound address to appear in the log.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never logged its address:\n%s", out.String())
+	}
+
+	cl := client.New(base)
+	ctx := context.Background()
+	if err := cl.WaitReady(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	source, err := os.ReadFile(filepath.Join("..", "..", "testdata", "valve.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Check(ctx, client.CheckRequest{Source: string(source)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Errorf("valve should verify clean: %+v", resp)
+	}
+	if _, err := cl.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if runErr != nil || code != 0 {
+		t.Fatalf("run = (%d, %v), want (0, nil)\n%s", code, runErr, out.String())
+	}
+	if !strings.Contains(out.String(), "drained clean") {
+		t.Errorf("missing drain confirmation:\n%s", out.String())
+	}
+}
+
+// TestRunSelfcheck exercises the built-in load generator end to end
+// against the real testdata corpus.
+func TestRunSelfcheck(t *testing.T) {
+	out := &syncBuffer{}
+	code, err := run([]string{
+		"-selfcheck",
+		"-corpus", filepath.Join("..", "..", "testdata"),
+		"-clients", "8", "-requests", "12",
+	}, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("selfcheck exit = %d\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"0 failures", "drained clean", "shelleyd_module_cache_hits_total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("selfcheck output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunUsageErrors pins the exit-code contract of the daemon binary.
+func TestRunUsageErrors(t *testing.T) {
+	out := &syncBuffer{}
+	if code, err := run([]string{"-badflag"}, out, nil); err == nil || code != 2 {
+		t.Errorf("bad flag: (%d, %v), want code 2 and error", code, err)
+	}
+	if code, err := run([]string{"stray"}, out, nil); err == nil || code != 2 {
+		t.Errorf("stray arg: (%d, %v), want code 2 and error", code, err)
+	}
+	if code, err := run([]string{"-selfcheck", "-corpus", "/nonexistent"}, out, nil); err == nil || code != 2 {
+		t.Errorf("bad corpus: (%d, %v), want code 2 and error", code, err)
+	}
+}

@@ -1,6 +1,7 @@
 package shelley
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,6 +21,21 @@ import (
 // flight finish normally. The error reported is the one for the
 // earliest (source-order) failing class among those actually checked.
 func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
+	return m.CheckAllContext(context.Background(), workers)
+}
+
+// CheckAllContext is CheckAllConcurrent bounded by a context: when ctx
+// is cancelled (deadline, client disconnect, server drain), dispatch
+// stops and queued classes are skipped, not just the post-first-error
+// tail. Classes whose analysis already started finish normally — the
+// per-class pipeline stages are not interruptible — so cancellation
+// latency is one class, not the whole module. On cancellation the
+// result is nil and ctx's error is returned (unless a class analysis
+// failed first; analysis errors win, matching CheckAllConcurrent).
+func (m *Module) CheckAllContext(ctx context.Context, workers int) ([]*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shelley: check cancelled: %w", err)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -27,7 +43,7 @@ func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 		workers = len(m.classes)
 	}
 	if workers <= 1 {
-		return m.CheckAll()
+		return m.checkAllSequential(ctx)
 	}
 
 	reports := make([]*Report, len(m.classes))
@@ -36,6 +52,7 @@ func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 
 	// failed flips once on the first analysis error; the producer stops
 	// feeding and workers drain the channel without checking further.
+	// Context cancellation takes the same early-stop path.
 	var failed atomic.Bool
 
 	var wg sync.WaitGroup
@@ -44,7 +61,7 @@ func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
 				reports[i], errs[i] = m.classes[i].Check()
@@ -54,11 +71,16 @@ func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range m.classes {
 		if failed.Load() {
 			break
 		}
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -68,5 +90,25 @@ func (m *Module) CheckAllConcurrent(workers int) ([]*Report, error) {
 			return nil, fmt.Errorf("shelley: checking %s: %w", m.classes[i].Name(), err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shelley: check cancelled: %w", err)
+	}
 	return reports, nil
+}
+
+// checkAllSequential is the single-worker path of CheckAllContext: the
+// plain source-order loop with a cancellation check between classes.
+func (m *Module) checkAllSequential(ctx context.Context) ([]*Report, error) {
+	out := make([]*Report, 0, len(m.classes))
+	for _, c := range m.classes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("shelley: check cancelled: %w", err)
+		}
+		r, err := c.Check()
+		if err != nil {
+			return nil, fmt.Errorf("shelley: checking %s: %w", c.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package shelley
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -92,6 +94,103 @@ class Dev:
 	checked := m.PipelineStats().Of(pipeline.StageReport).Misses
 	if checked >= valid/2 {
 		t.Fatalf("early stop ineffective: %d of %d classes were still analyzed after the failure", checked, valid)
+	}
+}
+
+// manyValidClasses builds a module of n independent valid composites
+// over one shared base class.
+func manyValidClasses(t *testing.T, n int) *Module {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`@sys
+class Dev:
+    @op_initial
+    def acquire(self):
+        return ["release"]
+
+    @op_final
+    def release(self):
+        return ["acquire"]
+
+`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "@sys([\"d\"])\nclass Ctl%d:\n    def __init__(self):\n        self.d = Dev()\n\n", i)
+		fmt.Fprintf(&b, "    @op_initial_final\n    def go%d(self):\n        self.d.acquire()\n        self.d.release()\n        return []\n\n", i)
+	}
+	m, err := LoadSource(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCheckAllContextMatchesConcurrent(t *testing.T) {
+	m := loadPaper(t)
+	want, err := m.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := m.CheckAllContext(context.Background(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d reports", workers, len(got))
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() {
+				t.Errorf("workers=%d: report %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestCheckAllContextCancelled pins the cancellation contract: a dead
+// context stops dispatch — on both the sequential and fan-out paths —
+// instead of only stopping on the first analysis error.
+func TestCheckAllContextCancelled(t *testing.T) {
+	m := manyValidClasses(t, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		reports, err := m.CheckAllContext(ctx, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if reports != nil {
+			t.Errorf("workers=%d: got %d reports from a cancelled run", workers, len(reports))
+		}
+	}
+	// A pre-cancelled context skips per-class work entirely.
+	if misses := m.PipelineStats().Of(pipeline.StageReport).Misses; misses != 0 {
+		t.Errorf("cancelled runs still analyzed %d classes", misses)
+	}
+}
+
+// TestCheckAllContextCancelMidRun cancels while the fan-out is live:
+// the result must be either a complete, correct report set (cancel
+// lost the race) or a context error — never a partial success.
+func TestCheckAllContextCancelMidRun(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		m := manyValidClasses(t, 30)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { cancel(); close(done) }()
+		reports, err := m.CheckAllContext(ctx, 4)
+		<-done
+		switch {
+		case err == nil:
+			if len(reports) != 31 {
+				t.Fatalf("iteration %d: complete run returned %d reports", i, len(reports))
+			}
+		case errors.Is(err, context.Canceled):
+			if reports != nil {
+				t.Fatalf("iteration %d: cancelled run returned reports", i)
+			}
+		default:
+			t.Fatalf("iteration %d: unexpected error %v", i, err)
+		}
 	}
 }
 

@@ -32,6 +32,21 @@ func bucketIndex(d time.Duration) int {
 	return len(bucketBounds)
 }
 
+// BucketIndex returns the histogram bucket for a duration, in
+// [0, NumBuckets). Exported so other observability layers (the
+// shelleyd request-latency histograms) share one bucketing scheme with
+// the pipeline stats and their tables line up column for column.
+func BucketIndex(d time.Duration) int { return bucketIndex(d) }
+
+// BucketBound returns the inclusive upper bound of bucket i; the last
+// (overflow) bucket has no bound and returns a negative duration.
+func BucketBound(i int) time.Duration {
+	if i < 0 || i >= len(bucketBounds) {
+		return -1
+	}
+	return bucketBounds[i]
+}
+
 // BucketLabels returns the histogram column labels, in bucket order.
 func BucketLabels() []string {
 	out := make([]string, 0, NumBuckets)

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/shelley-go/shelley/client"
+)
+
+// benchServer boots a daemon sized like the default production config.
+func benchServer(b *testing.B) *client.Client {
+	b.Helper()
+	srv := New(Config{RequestTimeout: 60 * time.Second})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := client.New("http://" + addr)
+	if err := cl.WaitReady(context.Background(), 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return cl
+}
+
+// BenchmarkServerCheckCold measures the full request path on a source
+// the daemon has never seen: HTTP + JSON + module load + cold pipeline
+// run. Every iteration uses a distinct source so nothing is resident.
+func BenchmarkServerCheckCold(b *testing.B) {
+	cl := benchServer(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := syntheticSource(4, fmt.Sprintf("cold%d", i))
+		if _, err := cl.Check(ctx, client.CheckRequest{Source: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerCheckWarm measures the steady state: the same source
+// re-checked against a resident module — a fingerprint lookup plus
+// cached reports, so the wire and scheduling overhead dominates.
+func BenchmarkServerCheckWarm(b *testing.B) {
+	cl := benchServer(b)
+	ctx := context.Background()
+	src := syntheticSource(4, "warm")
+	if _, err := cl.Check(ctx, client.CheckRequest{Source: src}); err != nil {
+		b.Fatal(err)
+	}
+	fp := client.Fingerprint(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Check(ctx, client.CheckRequest{Fingerprint: fp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerCheckCoalesced measures identical requests raced from
+// many goroutines, where in-flight coalescing and the resident module
+// collapse the work; per-op cost is one shared execution fanned out.
+func BenchmarkServerCheckCoalesced(b *testing.B) {
+	cl := benchServer(b)
+	src := syntheticSource(4, "coalesced")
+	ctx := context.Background()
+	if _, err := cl.Check(ctx, client.CheckRequest{Source: src}); err != nil {
+		b.Fatal(err)
+	}
+	var failed atomic.Bool
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cl.Check(ctx, client.CheckRequest{Source: src}); err != nil {
+				failed.Store(true)
+			}
+		}
+	})
+	if failed.Load() {
+		b.Fatal("requests failed under parallel load")
+	}
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/internal/pipeline"
+)
+
+// call is one coalesced execution: the first request for a key becomes
+// the leader and computes; identical in-flight requests become
+// followers and share the leader's byte-exact response. done is closed
+// once status/body are final.
+type call struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// resolve publishes the result and releases every follower. Safe to
+// call once only.
+func (c *call) resolve(status int, body []byte) {
+	c.status = status
+	c.body = body
+	close(c.done)
+}
+
+// coalescer collapses identical in-flight requests by key (endpoint +
+// module fingerprint + canonical parameters). Unlike the pipeline
+// cache it remembers nothing: entries exist only while a request is in
+// flight, so it is a concurrency dedup layer on top of the PR 1
+// memoization, not a second cache.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*call
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: make(map[string]*call)}
+}
+
+// get returns the in-flight call for key, creating it (leader=true)
+// when none exists. The leader must eventually resolve the call and
+// then forget the key.
+func (co *coalescer) get(key string) (c *call, leader bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if c, ok := co.inflight[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	co.inflight[key] = c
+	return c, true
+}
+
+// forget removes a resolved call so later identical requests execute
+// fresh (and hit the pipeline cache instead).
+func (co *coalescer) forget(key string) {
+	co.mu.Lock()
+	delete(co.inflight, key)
+	co.mu.Unlock()
+}
+
+// errNotResident distinguishes "fingerprint unknown" (404) from load
+// failures (422).
+var errNotResident = errors.New("server: module not resident")
+
+// moduleEntry is one resident module with its own singleflight cell,
+// so concurrent first requests for the same source parse it once.
+type moduleEntry struct {
+	ready chan struct{}
+	mod   *shelley.Module
+	err   error
+}
+
+// moduleCache keeps loaded modules (and their warm pipeline caches)
+// resident by content fingerprint. Residency is what turns the
+// daemon's requests from process-lifetime work into lookups: the
+// second check of an unchanged source is a fingerprint hit plus a
+// report clone.
+type moduleCache struct {
+	mu      sync.Mutex
+	entries map[string]*moduleEntry
+	max     int
+	met     *metrics
+}
+
+func newModuleCache(max int, met *metrics) *moduleCache {
+	return &moduleCache{entries: make(map[string]*moduleEntry), max: max, met: met}
+}
+
+// get returns the resident module for fp, loading it from source on
+// first use. An empty source is a cache-only lookup and fails with
+// errNotResident when the module is not in memory. Load errors are NOT
+// made resident: a bad source answers 422 but does not occupy a slot,
+// and a corrected re-upload under a new fingerprint loads fresh.
+func (mc *moduleCache) get(ctx context.Context, fp, source string) (*shelley.Module, error) {
+	mc.mu.Lock()
+	if e, ok := mc.entries[fp]; ok {
+		mc.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		mc.met.moduleHits.Add(1)
+		return e.mod, nil
+	}
+	if source == "" {
+		mc.mu.Unlock()
+		return nil, errNotResident
+	}
+	e := &moduleEntry{ready: make(chan struct{})}
+	mc.entries[fp] = e
+	mc.evictLocked(fp)
+	mc.mu.Unlock()
+
+	mc.met.moduleMisses.Add(1)
+	e.mod, e.err = shelley.LoadReader(shortFP(fp), strings.NewReader(source))
+	close(e.ready)
+	if e.err != nil {
+		mc.mu.Lock()
+		delete(mc.entries, fp)
+		mc.mu.Unlock()
+		return nil, e.err
+	}
+	return e.mod, nil
+}
+
+// evictLocked drops arbitrary settled entries (never keep, the entry
+// just inserted) until the cache respects max. Eviction order is map
+// order — effectively random — which is cheap and good enough for a
+// content-addressed cache whose entries are all equally rebuildable.
+func (mc *moduleCache) evictLocked(keep string) {
+	if mc.max <= 0 {
+		return
+	}
+	for fp, e := range mc.entries {
+		if len(mc.entries) <= mc.max {
+			return
+		}
+		if fp == keep {
+			continue
+		}
+		select {
+		case <-e.ready:
+			delete(mc.entries, fp)
+			mc.met.moduleEvictions.Add(1)
+		default:
+			// Still loading; a follower may be blocked on ready.
+		}
+	}
+}
+
+// stats sums the pipeline-cache counters of every resident module.
+func (mc *moduleCache) stats() shelley.PipelineStats {
+	mc.mu.Lock()
+	mods := make([]*shelley.Module, 0, len(mc.entries))
+	for _, e := range mc.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				mods = append(mods, e.mod)
+			}
+		default:
+		}
+	}
+	mc.mu.Unlock()
+
+	var agg shelley.PipelineStats
+	for _, m := range mods {
+		s := m.PipelineStats()
+		if agg.Stages == nil {
+			agg = s
+			continue
+		}
+		for i := range agg.Stages {
+			agg.Stages[i].Hits += s.Stages[i].Hits
+			agg.Stages[i].Misses += s.Stages[i].Misses
+			agg.Stages[i].Entries += s.Stages[i].Entries
+			agg.Stages[i].BuildTime += s.Stages[i].BuildTime
+			for b := range agg.Stages[i].Buckets {
+				agg.Stages[i].Buckets[b] += s.Stages[i].Buckets[b]
+			}
+		}
+	}
+	if agg.Stages == nil {
+		agg = (*pipeline.Cache)(nil).Stats()
+	}
+	return agg
+}
+
+// shortFP abbreviates a fingerprint for error labels.
+func shortFP(fp string) string {
+	if len(fp) > 15 {
+		return fp[:15]
+	}
+	return fp
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/shelley-go/shelley/internal/pipeline"
+)
+
+// metrics is the daemon's observability surface, rendered as a
+// Prometheus-style text exposition on /metrics. Request-latency
+// histograms reuse the pipeline stats bucketing (pipeline.BucketIndex
+// / BucketLabels) so daemon and cache tables line up column for
+// column.
+type metrics struct {
+	// requests[endpoint][code] counts finished requests.
+	mu       sync.Mutex
+	requests map[string]map[int]uint64
+
+	// latency[endpoint] is the request wall-time histogram.
+	latency map[string]*[pipeline.NumBuckets]atomic.Uint64
+
+	// coalesced counts requests that piggybacked on an identical
+	// in-flight request instead of executing.
+	coalesced atomic.Uint64
+
+	// moduleHits/moduleMisses count resident-module cache lookups.
+	moduleHits   atomic.Uint64
+	moduleMisses atomic.Uint64
+
+	// moduleEvictions counts resident modules dropped to stay under
+	// MaxModules.
+	moduleEvictions atomic.Uint64
+
+	// queueDepth and workersBusy are live pool gauges, maintained by
+	// the pool itself but exposed here.
+	queueDepth  atomic.Int64
+	workersBusy atomic.Int64
+
+	// inflight is the number of requests currently inside a handler.
+	inflight atomic.Int64
+
+	// timeouts[where] counts deadline expiries ("queue" — job expired
+	// before a worker picked it up; "wait" — a waiter's context ended
+	// first).
+	timeoutQueue atomic.Uint64
+	timeoutWait  atomic.Uint64
+
+	// saturated counts submissions rejected because the queue was full
+	// or the daemon was draining.
+	saturated atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*[pipeline.NumBuckets]atomic.Uint64),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	byCode, ok := m.requests[endpoint]
+	if !ok {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	hist, ok := m.latency[endpoint]
+	if !ok {
+		hist = new([pipeline.NumBuckets]atomic.Uint64)
+		m.latency[endpoint] = hist
+	}
+	m.mu.Unlock()
+	hist[pipeline.BucketIndex(elapsed)].Add(1)
+}
+
+// render writes the exposition. pipelineStats aggregates the caches of
+// every resident module, so cache behavior inside the daemon is
+// scrapeable without a side channel.
+func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
+	fmt.Fprintf(b, "# HELP shelleyd_requests_total Finished requests by endpoint and status code.\n")
+	fmt.Fprintf(b, "# TYPE shelleyd_requests_total counter\n")
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for code := range m.requests[ep] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(b, "shelleyd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, code, m.requests[ep][code])
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP shelleyd_request_duration_bucket Request wall time (pipeline-stats bucketing; le is the inclusive upper bound, +Inf the overflow bucket).\n")
+	fmt.Fprintf(b, "# TYPE shelleyd_request_duration_bucket counter\n")
+	histEndpoints := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		histEndpoints = append(histEndpoints, ep)
+	}
+	sort.Strings(histEndpoints)
+	for _, ep := range histEndpoints {
+		hist := m.latency[ep]
+		var cum uint64
+		for i := 0; i < pipeline.NumBuckets; i++ {
+			cum += hist[i].Load()
+			le := "+Inf"
+			if bound := pipeline.BucketBound(i); bound >= 0 {
+				le = bound.String()
+			}
+			fmt.Fprintf(b, "shelleyd_request_duration_bucket{endpoint=%q,le=%q} %d\n", ep, le, cum)
+		}
+	}
+	m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("shelleyd_coalesced_total", "Requests served by piggybacking on an identical in-flight request.", m.coalesced.Load())
+	counter("shelleyd_module_cache_hits_total", "Requests served by an already-resident module.", m.moduleHits.Load())
+	counter("shelleyd_module_cache_misses_total", "Module loads (source parsed and modeled).", m.moduleMisses.Load())
+	counter("shelleyd_module_cache_evictions_total", "Resident modules evicted to respect MaxModules.", m.moduleEvictions.Load())
+	counter("shelleyd_timeouts_queue_total", "Jobs that expired before a worker picked them up.", m.timeoutQueue.Load())
+	counter("shelleyd_timeouts_wait_total", "Waiters whose own deadline ended before the shared result.", m.timeoutWait.Load())
+	counter("shelleyd_saturated_total", "Submissions rejected with 503 (queue full or draining).", m.saturated.Load())
+	gauge("shelleyd_queue_depth", "Jobs waiting for a worker.", m.queueDepth.Load())
+	gauge("shelleyd_workers_busy", "Workers currently executing a job.", m.workersBusy.Load())
+	gauge("shelleyd_inflight_requests", "Requests currently inside a handler.", m.inflight.Load())
+
+	fmt.Fprintf(b, "# HELP shelleyd_pipeline_stage_total Pipeline-cache counters aggregated over resident modules.\n")
+	fmt.Fprintf(b, "# TYPE shelleyd_pipeline_stage_total counter\n")
+	for _, st := range pipelineStats.Stages {
+		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"hits\"} %d\n", st.Stage, st.Hits)
+		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"misses\"} %d\n", st.Stage, st.Misses)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errSaturated is returned by submit when the queue is full;
+// errDraining when the daemon has begun shutdown. Both map to 503.
+var (
+	errSaturated = errors.New("server: queue saturated")
+	errDraining  = errors.New("server: draining")
+)
+
+// job is one unit of pooled work: run computes the response for a
+// coalesced call; deadline is the server-policy execution deadline
+// (set at admission, so time spent queued counts against it).
+type job struct {
+	run      func(ctx context.Context)
+	expired  func() // invoked instead of run when the deadline passed in the queue
+	deadline time.Time
+}
+
+// pool is a fixed-size worker pool with a bounded queue. Saturation is
+// load shedding, not backpressure: a full queue rejects immediately
+// (the caller answers 503) instead of holding the connection hostage.
+type pool struct {
+	jobs chan job
+	wg   sync.WaitGroup
+
+	// baseCtx is the lifetime of the pool, NOT cancelled by drain —
+	// draining means finishing admitted work, so jobs keep their own
+	// deadlines and the base context stays live until Close.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	draining atomic.Bool
+	met      *metrics
+
+	// hook runs at the start of every job when non-nil (test seam).
+	hook func()
+}
+
+// newPool starts workers goroutines servicing a queue of depth queue.
+func newPool(workers, queue int, met *metrics, hook func()) *pool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &pool{
+		jobs:    make(chan job, queue),
+		baseCtx: ctx,
+		cancel:  cancel,
+		met:     met,
+		hook:    hook,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.met.queueDepth.Add(-1)
+		if p.hook != nil {
+			p.hook()
+		}
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			// The job sat in the queue past its whole budget; answer
+			// 504 without burning a worker on work nobody is awaiting.
+			p.met.timeoutQueue.Add(1)
+			j.expired()
+			continue
+		}
+		ctx := p.baseCtx
+		var cancel context.CancelFunc
+		if !j.deadline.IsZero() {
+			ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		}
+		p.met.workersBusy.Add(1)
+		j.run(ctx)
+		p.met.workersBusy.Add(-1)
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// submit enqueues a job, rejecting instead of blocking when the queue
+// is full or the pool is draining.
+func (p *pool) submit(j job) error {
+	if p.draining.Load() {
+		p.met.saturated.Add(1)
+		return errDraining
+	}
+	select {
+	case p.jobs <- j:
+		p.met.queueDepth.Add(1)
+		return nil
+	default:
+		p.met.saturated.Add(1)
+		return errSaturated
+	}
+}
+
+// drain stops admissions; already-queued and running jobs finish.
+func (p *pool) drain() { p.draining.Store(true) }
+
+// close waits for every admitted job to finish, then stops the
+// workers. Call only after drain and after no goroutine can submit.
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+	p.cancel()
+}

@@ -1,0 +1,473 @@
+// Package server implements shelleyd, the resident verification
+// daemon: an HTTP/JSON serving layer over the shelley pipeline that
+// keeps loaded modules (and their memoizing pipeline caches, PR 1)
+// warm across requests, coalesces identical in-flight requests by
+// source fingerprint, bounds concurrency with a fixed worker pool and
+// queue (503 on saturation, 504 on deadline), and drains gracefully.
+//
+// Endpoints:
+//
+//	POST /v1/check   full per-class verification reports
+//	POST /v1/infer   per-operation behavior regexes (§3.2)
+//	POST /v1/trace   trace membership / flattened replay
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /metrics    Prometheus-style text exposition
+//
+// Request bodies carry MicroPython source, or a fingerprint of a
+// source POSTed earlier for a cache-only re-check. Wire types live in
+// the public client package so the daemon and its Go client share one
+// schema.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/client"
+	"github.com/shelley-go/shelley/internal/check"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// Workers is the number of pool workers executing verification
+	// jobs; 0 means GOMAXPROCS.
+	Workers int
+
+	// QueueDepth bounds jobs admitted but not yet running; a full
+	// queue answers 503. 0 means 4×Workers.
+	QueueDepth int
+
+	// RequestTimeout is the per-request execution budget, counted from
+	// admission (queue time included); expiry answers 504. 0 means 30s.
+	RequestTimeout time.Duration
+
+	// CheckWorkers is the per-request fan-out passed to
+	// Module.CheckAllContext. 0 means 1 (parallelism across requests,
+	// not within them — the pool is the concurrency budget).
+	CheckWorkers int
+
+	// MaxSourceBytes bounds request bodies. 0 means 4 MiB.
+	MaxSourceBytes int64
+
+	// MaxModules bounds resident modules; beyond it, settled entries
+	// are evicted arbitrarily. 0 means 256.
+	MaxModules int
+
+	// jobHook, when set, runs at the start of every pooled job — a
+	// test-only seam that lets the suite hold workers at a barrier and
+	// observe saturation, coalescing, and drain deterministically.
+	jobHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CheckWorkers <= 0 {
+		c.CheckWorkers = 1
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 4 << 20
+	}
+	if c.MaxModules <= 0 {
+		c.MaxModules = 256
+	}
+	return c
+}
+
+// Server is a shelleyd instance. Create with New, expose via Handler
+// (any http.Server or test mux) or Start (own listener), stop with
+// Shutdown.
+type Server struct {
+	cfg      Config
+	modules  *moduleCache
+	co       *coalescer
+	pool     *pool
+	met      *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	httpSrv  *http.Server
+	listener net.Listener
+
+	// closeOnce/poolClosed make Shutdown idempotent: the pool closes
+	// exactly once, later calls just wait on poolClosed.
+	closeOnce  sync.Once
+	poolClosed chan struct{}
+}
+
+// New returns a ready (but not yet listening) daemon.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := newMetrics()
+	s := &Server{
+		cfg:     cfg,
+		modules: newModuleCache(cfg.MaxModules, met),
+		co:      newCoalescer(),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth, met, cfg.jobHook),
+		met:        met,
+		mux:        http.NewServeMux(),
+		poolClosed: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
+	s.mux.HandleFunc("POST /v1/infer", s.instrument("infer", s.handleInfer))
+	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:9944"; port 0 picks a free
+// port) and serves until Shutdown. It returns once the listener is
+// accepting, with the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve errors after Shutdown are expected; others surface
+			// through failing requests, which the clients observe.
+			_ = err
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains the daemon: new work is refused (healthz flips
+// unhealthy, submissions answer 503), every admitted request runs to
+// completion and its response is delivered, then workers and listener
+// stop. ctx bounds the wait; on expiry remaining work is abandoned.
+// This is what SIGTERM triggers in cmd/shelleyd.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.pool.drain()
+	var err error
+	if s.httpSrv != nil {
+		// Waits for in-flight handlers — which wait for their pooled
+		// jobs — so no accepted request is dropped mid-drain.
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	// All handlers have returned (or ctx expired): no submitter is
+	// left, so the queue can close and workers join.
+	s.closeOnce.Do(func() {
+		go func() { s.pool.close(); close(s.poolClosed) }()
+	})
+	select {
+	case <-s.poolClosed:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return err
+}
+
+// instrument wraps a handler with inflight/latency/status accounting.
+func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.inflight.Add(1)
+		start := time.Now()
+		code := h(w, r)
+		s.met.inflight.Add(-1)
+		s.met.observe(endpoint, code, time.Since(start))
+	}
+}
+
+// writeError emits the uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(client.ErrorResponse{Error: msg})
+	return status
+}
+
+// writeRaw replays a coalesced call's byte-exact response.
+func writeRaw(w http.ResponseWriter, status int, body []byte) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	return status
+}
+
+// resolveModule turns a request's (source, fingerprint) pair into a
+// resident module, computing the fingerprint server-side when only
+// source is given. Error mapping: empty request 400, unknown
+// fingerprint 404, unloadable source 422.
+func (s *Server) resolveModule(w http.ResponseWriter, r *http.Request, source, fp string) (*shelley.Module, string, int) {
+	if source == "" && fp == "" {
+		return nil, "", writeError(w, http.StatusBadRequest, "request needs source or fingerprint")
+	}
+	if source != "" {
+		computed := client.Fingerprint(source)
+		if fp != "" && fp != computed {
+			return nil, "", writeError(w, http.StatusBadRequest, "fingerprint does not match source")
+		}
+		fp = computed
+	}
+	mod, err := s.modules.get(r.Context(), fp, source)
+	switch {
+	case errors.Is(err, errNotResident):
+		return nil, "", writeError(w, http.StatusNotFound, "module "+fp+" not resident; re-POST its source")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.met.timeoutWait.Add(1)
+		return nil, "", writeError(w, http.StatusGatewayTimeout, "module load wait: "+err.Error())
+	case err != nil:
+		return nil, "", writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+	return mod, fp, 0
+}
+
+// execute runs fn through coalescing and the worker pool, answering
+// with the shared byte-exact response. key must canonically encode the
+// endpoint and every request parameter that affects the response.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) (int, []byte)) int {
+	c, leader := s.co.get(key)
+	if leader {
+		j := job{
+			deadline: time.Now().Add(s.cfg.RequestTimeout),
+			run: func(ctx context.Context) {
+				status, body := fn(ctx)
+				s.co.forget(key)
+				c.resolve(status, body)
+			},
+			expired: func() {
+				s.co.forget(key)
+				body, _ := json.Marshal(client.ErrorResponse{Error: "request expired in queue"})
+				c.resolve(http.StatusGatewayTimeout, body)
+			},
+		}
+		if err := s.pool.submit(j); err != nil {
+			s.co.forget(key)
+			msg := "queue saturated; retry later"
+			if errors.Is(err, errDraining) {
+				msg = "daemon is draining"
+			}
+			body, _ := json.Marshal(client.ErrorResponse{Error: msg})
+			c.resolve(http.StatusServiceUnavailable, body)
+		}
+	} else {
+		s.met.coalesced.Add(1)
+	}
+	select {
+	case <-c.done:
+		return writeRaw(w, c.status, c.body)
+	case <-r.Context().Done():
+		// This waiter's client went away (or its own deadline passed);
+		// the shared computation continues for the others.
+		s.met.timeoutWait.Add(1)
+		return writeError(w, http.StatusGatewayTimeout, "request context ended: "+r.Context().Err().Error())
+	}
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
+	var req client.CheckRequest
+	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
+	if mod == nil {
+		return errCode
+	}
+	if req.Class != "" {
+		if _, ok := mod.Class(req.Class); !ok {
+			return writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
+		}
+	}
+	key := strings.Join([]string{"check", fp, req.Class, fmt.Sprint(req.Precise)}, "\x00")
+	return s.execute(w, r, key, func(ctx context.Context) (int, []byte) {
+		var reports []*shelley.Report
+		var err error
+		if req.Class != "" {
+			cls, _ := mod.Class(req.Class)
+			var opts []check.Option
+			if req.Precise {
+				opts = append(opts, check.Precise())
+			}
+			var rep *shelley.Report
+			rep, err = cls.Check(opts...)
+			if rep != nil {
+				reports = []*shelley.Report{rep}
+			}
+		} else if req.Precise {
+			reports, err = checkAllPrecise(ctx, mod)
+		} else {
+			reports, err = mod.CheckAllContext(ctx, s.cfg.CheckWorkers)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return errorBody(http.StatusGatewayTimeout, "check timed out: "+err.Error())
+			}
+			return errorBody(http.StatusUnprocessableEntity, err.Error())
+		}
+		ok := true
+		for _, rep := range reports {
+			ok = ok && rep.OK()
+		}
+		return jsonBody(client.CheckResponse{Fingerprint: fp, OK: ok, Reports: reports})
+	})
+}
+
+// checkAllPrecise is the precise-mode module sweep: per-class Check
+// with the Precise option, honoring ctx between classes.
+func checkAllPrecise(ctx context.Context, mod *shelley.Module) ([]*shelley.Report, error) {
+	classes := mod.Classes()
+	out := make([]*shelley.Report, 0, len(classes))
+	for _, c := range classes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep, err := c.Check(shelley.Precise())
+		if err != nil {
+			return nil, fmt.Errorf("checking %s: %w", c.Name(), err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) int {
+	var req client.InferRequest
+	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if req.Class == "" {
+		return writeError(w, http.StatusBadRequest, "infer needs a class")
+	}
+	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
+	if mod == nil {
+		return errCode
+	}
+	cls, ok := mod.Class(req.Class)
+	if !ok {
+		return writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
+	}
+	key := strings.Join([]string{"infer", fp, req.Class, req.Operation}, "\x00")
+	return s.execute(w, r, key, func(ctx context.Context) (int, []byte) {
+		ops := cls.Operations()
+		if req.Operation != "" {
+			ops = []string{req.Operation}
+		}
+		resp := client.InferResponse{Fingerprint: fp, Class: req.Class}
+		for _, op := range ops {
+			if err := ctx.Err(); err != nil {
+				return errorBody(http.StatusGatewayTimeout, "infer timed out: "+err.Error())
+			}
+			raw, err := cls.Behavior(op)
+			if err != nil {
+				return errorBody(http.StatusNotFound, err.Error())
+			}
+			simp, err := cls.BehaviorSimplified(op)
+			if err != nil {
+				return errorBody(http.StatusNotFound, err.Error())
+			}
+			resp.Behaviors = append(resp.Behaviors, client.OperationBehavior{
+				Operation: op, Behavior: raw, Simplified: simp,
+			})
+		}
+		return jsonBody(resp)
+	})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) int {
+	var req client.TraceRequest
+	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if req.Class == "" {
+		return writeError(w, http.StatusBadRequest, "trace needs a class")
+	}
+	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
+	if mod == nil {
+		return errCode
+	}
+	cls, ok := mod.Class(req.Class)
+	if !ok {
+		return writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
+	}
+	key := strings.Join([]string{"trace", fp, req.Class, fmt.Sprint(req.Replay), strings.Join(req.Trace, "\x01")}, "\x00")
+	return s.execute(w, r, key, func(ctx context.Context) (int, []byte) {
+		resp := client.TraceResponse{
+			Fingerprint: fp,
+			Class:       req.Class,
+			Trace:       req.Trace,
+			Accepted:    cls.RunTrace(req.Trace),
+		}
+		if req.Replay {
+			if err := cls.ReplayFlat(req.Trace); err != nil {
+				resp.ReplayError = err.Error()
+			}
+		}
+		return jsonBody(resp)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.met.render(&b, s.modules.stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+// decodeBody reads a JSON request bounded by maxBytes.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// jsonBody marshals a pooled-work response.
+func jsonBody(v any) (int, []byte) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errorBody(http.StatusInternalServerError, "encoding response: "+err.Error())
+	}
+	return http.StatusOK, body
+}
+
+// errorBody marshals a pooled-work error response.
+func errorBody(status int, msg string) (int, []byte) {
+	body, _ := json.Marshal(client.ErrorResponse{Error: msg})
+	return status, body
+}

@@ -1,0 +1,98 @@
+package shelley
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadReaderMatchesLoadSource: the streaming entry point and the
+// string entry point must produce identical modules — LoadSource is
+// LoadReader over a strings.Reader.
+func TestLoadReaderMatchesLoadSource(t *testing.T) {
+	src := `@sys
+class Dev:
+    @op_initial_final
+    def ping(self):
+        return ["ping"]
+`
+	fromReader, err := LoadReader("request-42", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromString, err := LoadSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fromReader.Names(), fromString.Names(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("classes %v vs %v", got, want)
+	}
+	r1, err := fromReader.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fromString.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].String() != r2[i].String() {
+			t.Errorf("report %d differs", i)
+		}
+	}
+}
+
+// TestLoadReaderLabelsErrors: the name labels parse failures; an empty
+// name leaves the historical LoadSource error shape intact.
+func TestLoadReaderLabelsErrors(t *testing.T) {
+	bad := "@sys\nclass X:\n  def"
+	_, err := LoadReader("upload.py", strings.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "upload.py") {
+		t.Errorf("labeled error = %v, want mention of upload.py", err)
+	}
+	_, err = LoadSource(bad)
+	if err == nil || strings.Contains(err.Error(), "upload.py") {
+		t.Errorf("unlabeled error = %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "shelley: ") {
+		t.Errorf("error prefix changed: %v", err)
+	}
+}
+
+// errReader fails after a prefix, exercising the read-error path.
+type errReader struct{ n int }
+
+func (e *errReader) Read(p []byte) (int, error) {
+	if e.n == 0 {
+		return 0, errors.New("stream torn down")
+	}
+	e.n--
+	p[0] = 'x'
+	return 1, nil
+}
+
+func TestLoadReaderReadFailure(t *testing.T) {
+	_, err := LoadReader("conn", &errReader{n: 3})
+	if err == nil || !strings.Contains(err.Error(), "stream torn down") || !strings.Contains(err.Error(), "conn") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestLoadFileDelegates: LoadFile now flows through LoadReader and
+// still loads the paper sources, labeling errors with the path.
+func TestLoadFileDelegates(t *testing.T) {
+	m, err := LoadFile(filepath.Join("testdata", "valve.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Class("Valve"); !ok {
+		t.Error("Valve missing")
+	}
+	if _, err := LoadFile(filepath.Join("testdata", "nope.py")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+var _ io.Reader = (*errReader)(nil)

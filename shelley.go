@@ -2,8 +2,10 @@ package shelley
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
 	"github.com/shelley-go/shelley/internal/check"
@@ -94,18 +96,26 @@ type Module struct {
 	cache *pipeline.Cache
 }
 
-// LoadSource parses and models every class of a MicroPython source
-// string.
-func LoadSource(src string) (*Module, error) {
-	ast, err := pyparse.ParseModule(src)
+// LoadReader parses and models every class of a MicroPython source
+// read from r. name labels the source in error messages (a file path,
+// a request id, ...); an empty name leaves errors unlabeled. It is the
+// streaming entry point used by servers that receive source in request
+// bodies and never touch the filesystem; LoadSource and LoadFile
+// delegate to it.
+func LoadReader(name string, r io.Reader) (*Module, error) {
+	b, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("shelley: %w", err)
+		return nil, loadErr(name, err)
+	}
+	ast, err := pyparse.ParseModule(string(b))
+	if err != nil {
+		return nil, loadErr(name, err)
 	}
 	m := &Module{registry: check.Registry{}, cache: pipeline.New()}
 	for _, cls := range ast.Classes {
 		mc, err := model.FromAST(cls)
 		if err != nil {
-			return nil, fmt.Errorf("shelley: %w", err)
+			return nil, loadErr(name, err)
 		}
 		m.registry[mc.Name] = mc
 		m.classes = append(m.classes, &Class{model: mc, ast: cls, module: m})
@@ -113,13 +123,29 @@ func LoadSource(src string) (*Module, error) {
 	return m, nil
 }
 
-// LoadFile is LoadSource over a file's contents.
+// loadErr wraps a load failure, labeling it with the source name when
+// one is known.
+func loadErr(name string, err error) error {
+	if name == "" {
+		return fmt.Errorf("shelley: %w", err)
+	}
+	return fmt.Errorf("shelley: %s: %w", name, err)
+}
+
+// LoadSource parses and models every class of a MicroPython source
+// string.
+func LoadSource(src string) (*Module, error) {
+	return LoadReader("", strings.NewReader(src))
+}
+
+// LoadFile is LoadReader over a file's contents.
 func LoadFile(path string) (*Module, error) {
-	b, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("shelley: %w", err)
 	}
-	return LoadSource(string(b))
+	defer f.Close()
+	return LoadReader(path, f)
 }
 
 // LoadFiles loads several files into one module, so composites can
