@@ -11,6 +11,7 @@ package shelley
 // membership queries).
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -22,6 +23,7 @@ import (
 	"github.com/shelley-go/shelley/internal/ir"
 	"github.com/shelley-go/shelley/internal/learn"
 	"github.com/shelley-go/shelley/internal/ltlf"
+	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/regex"
 	"github.com/shelley-go/shelley/internal/trace"
 )
@@ -626,6 +628,46 @@ func BenchmarkCheckAllConcurrentCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.CheckAllConcurrent(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- P3: tracing overhead on the warm path ---
+
+// BenchmarkCheckAllTracingOff is the warm-cache baseline for the
+// tracing ablation: CheckAllContext with a plain context, so the only
+// obs cost is one nil context lookup per instrumentation point.
+func BenchmarkCheckAllTracingOff(b *testing.B) {
+	m := benchCheckAllModule(b)
+	ctx := context.Background()
+	if _, err := m.CheckAllContext(ctx, 1); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CheckAllContext(ctx, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckAllTracingOn is the same warm workload with a live
+// tracer exporting into a ring buffer — the shelleyd -trace
+// configuration. EXPERIMENTS.md P3 records the ratio (acceptance bar:
+// <5% overhead on the warm path).
+func BenchmarkCheckAllTracingOn(b *testing.B) {
+	m := benchCheckAllModule(b)
+	ring := obs.NewRing(1 << 12)
+	ctx := obs.ContextWithTracer(context.Background(), obs.New(obs.WithExporter(ring)))
+	if _, err := m.CheckAllContext(ctx, 1); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CheckAllContext(ctx, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

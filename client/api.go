@@ -38,8 +38,23 @@ type CheckRequest struct {
 	Precise bool `json:"precise,omitempty"`
 }
 
+// ResponseMeta carries transport-level metadata of a daemon response.
+// It is populated by the client from HTTP headers and never crosses
+// the wire in the JSON body (coalesced requests share one byte-exact
+// body, so anything per-request must live in headers).
+type ResponseMeta struct {
+	// TraceID is the X-Shelley-Trace header of the response: the trace
+	// ID the daemon ran (or would run) the request under — either the
+	// one this client sent, or a server-generated one. Quote it when
+	// correlating with daemon access logs or /v1/trace-export output.
+	TraceID string `json:"-"`
+}
+
+func (m *ResponseMeta) setTraceID(id string) { m.TraceID = id }
+
 // CheckResponse is the outcome of a /v1/check request.
 type CheckResponse struct {
+	ResponseMeta
 	// Fingerprint identifies the (now resident) module; send it back
 	// in later requests to skip re-uploading the source.
 	Fingerprint string `json:"fingerprint"`
@@ -79,6 +94,8 @@ type OperationBehavior struct {
 
 // InferResponse is the outcome of a /v1/infer request.
 type InferResponse struct {
+	ResponseMeta
+
 	Fingerprint string              `json:"fingerprint"`
 	Class       string              `json:"class"`
 	Behaviors   []OperationBehavior `json:"behaviors"`
@@ -105,6 +122,8 @@ type TraceRequest struct {
 
 // TraceResponse is the outcome of a /v1/trace request.
 type TraceResponse struct {
+	ResponseMeta
+
 	Fingerprint string   `json:"fingerprint"`
 	Class       string   `json:"class"`
 	Trace       []string `json:"trace"`

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/shelley-go/shelley/internal/obs"
 )
 
 // Client talks to a running shelleyd.
@@ -161,6 +163,15 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// Distributed-trace propagation: reuse the trace of the active span
+	// when the caller's context carries one, otherwise originate a
+	// fresh ID, so every request is correlatable with the daemon's
+	// access log and /v1/trace-export output.
+	traceID := obs.SpanFrom(ctx).TraceID()
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	httpReq.Header.Set("X-Shelley-Trace", traceID)
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return err
@@ -175,6 +186,13 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	}
 	if err := json.Unmarshal(raw, resp); err != nil {
 		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	if m, ok := resp.(interface{ setTraceID(string) }); ok {
+		if id := httpResp.Header.Get("X-Shelley-Trace"); id != "" {
+			m.setTraceID(id)
+		} else {
+			m.setTraceID(traceID)
+		}
 	}
 	return nil
 }

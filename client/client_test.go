@@ -1,8 +1,14 @@
 package client
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/shelley-go/shelley/internal/obs"
 )
 
 func TestFingerprintStableAndDistinct(t *testing.T) {
@@ -19,20 +25,120 @@ func TestFingerprintStableAndDistinct(t *testing.T) {
 }
 
 func TestParseMetric(t *testing.T) {
-	text := `# HELP shelleyd_coalesced_total x
+	exposition := `# HELP shelleyd_coalesced_total x
 # TYPE shelleyd_coalesced_total counter
 shelleyd_coalesced_total 7
 shelleyd_requests_total{endpoint="check",code="200"} 41
 shelleyd_queue_depth 0
+shelleyd_request_seconds_bucket{endpoint="check",le="0.001"} 12
+shelleyd_request_seconds_bucket{endpoint="check",le="+Inf"} 30
+shelleyd_request_seconds_sum{endpoint="check"} 0.42
+shelleyd_pipeline_hit_ratio 0.875
+shelleyd_broken_metric notanumber
+shelleyd_no_value
 `
-	if v, ok := ParseMetric(text, "shelleyd_coalesced_total"); !ok || v != 7 {
-		t.Errorf("coalesced = %v, %v", v, ok)
+	tests := []struct {
+		name   string
+		metric string
+		want   float64
+		wantOK bool
+	}{
+		{"plain counter", "shelleyd_coalesced_total", 7, true},
+		{"labeled counter", `shelleyd_requests_total{endpoint="check",code="200"}`, 41, true},
+		{"zero-valued gauge", "shelleyd_queue_depth", 0, true},
+		{"histogram bucket", `shelleyd_request_seconds_bucket{endpoint="check",le="0.001"}`, 12, true},
+		{"histogram +Inf bucket", `shelleyd_request_seconds_bucket{endpoint="check",le="+Inf"}`, 30, true},
+		{"histogram sum (float)", `shelleyd_request_seconds_sum{endpoint="check"}`, 0.42, true},
+		{"fractional gauge", "shelleyd_pipeline_hit_ratio", 0.875, true},
+		{"absent metric", "absent_metric", 0, false},
+		{"name prefix must not match", "shelleyd_coalesced", 0, false},
+		{"comment lines are not metrics", "# HELP shelleyd_coalesced_total x", 0, false},
+		{"malformed value", "shelleyd_broken_metric", 0, false},
+		{"line without value", "shelleyd_no_value", 0, false},
 	}
-	if v, ok := ParseMetric(text, `shelleyd_requests_total{endpoint="check",code="200"}`); !ok || v != 41 {
-		t.Errorf("labeled metric = %v, %v", v, ok)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, ok := ParseMetric(exposition, tt.metric)
+			if ok != tt.wantOK || v != tt.want {
+				t.Errorf("ParseMetric(%q) = %v, %v; want %v, %v", tt.metric, v, ok, tt.want, tt.wantOK)
+			}
+		})
 	}
-	if _, ok := ParseMetric(text, "absent_metric"); ok {
-		t.Error("absent metric must report !ok")
+	if _, ok := ParseMetric("", "anything"); ok {
+		t.Error("empty exposition must report !ok")
+	}
+}
+
+// traceEcho is a stub daemon that records the request trace header and
+// echoes (or overrides) it in the response.
+func traceEcho(t *testing.T, override string) (*Client, *string) {
+	t.Helper()
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("X-Shelley-Trace")
+		id := got
+		if override != "" {
+			id = override
+		}
+		w.Header().Set("X-Shelley-Trace", id)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(CheckResponse{Fingerprint: "sha256:x", OK: true})
+	}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL), &got
+}
+
+func TestPostGeneratesTraceHeader(t *testing.T) {
+	cl, got := traceEcho(t, "")
+	resp, err := cl.Check(context.Background(), CheckRequest{Source: "class A: pass"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got == "" {
+		t.Fatal("client sent no X-Shelley-Trace header")
+	}
+	if len(*got) != 32 {
+		t.Errorf("generated trace ID %q is not 32 hex chars", *got)
+	}
+	if resp.TraceID != *got {
+		t.Errorf("response TraceID = %q, want the sent ID %q", resp.TraceID, *got)
+	}
+}
+
+func TestPostPropagatesActiveSpanTrace(t *testing.T) {
+	cl, got := traceEcho(t, "")
+	tr := obs.New(obs.WithDeterministicIDs())
+	ctx := obs.ContextWithTracer(context.Background(), tr)
+	ctx, span := obs.Start(ctx, "caller")
+	defer span.End()
+
+	if _, err := cl.Check(ctx, CheckRequest{Source: "class A: pass"}); err != nil {
+		t.Fatal(err)
+	}
+	if *got != span.TraceID() {
+		t.Errorf("sent trace %q, want the active span's trace %q", *got, span.TraceID())
+	}
+}
+
+func TestResponseExposesServerAssignedTraceID(t *testing.T) {
+	cl, _ := traceEcho(t, "server-chose-this")
+	resp, err := cl.Check(context.Background(), CheckRequest{Source: "class A: pass"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "server-chose-this" {
+		t.Errorf("TraceID = %q, want the server-assigned ID", resp.TraceID)
+	}
+}
+
+func TestTraceIDStaysOutOfWireBody(t *testing.T) {
+	resp := CheckResponse{ResponseMeta: ResponseMeta{TraceID: "secret"}, Fingerprint: "sha256:x"}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "secret") || strings.Contains(string(b), "TraceID") {
+		t.Errorf("TraceID leaked into JSON body: %s", b)
 	}
 }
 

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	shelleyc [-class NAME] [-quiet] FILE.py [FILE.py ...]
+//	shelleyc [-class NAME] [-quiet] [-trace out.json] FILE.py [FILE.py ...]
 //
 // The exit status is 0 when every checked class verifies, 1 when any
 // diagnostic is reported, and 2 on usage or load errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/internal/check"
+	"github.com/shelley-go/shelley/internal/obs"
 )
 
 func main() {
@@ -32,7 +34,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, out io.Writer) (int, error) {
+func run(args []string, out io.Writer) (code int, err error) {
 	fs := flag.NewFlagSet("shelleyc", flag.ContinueOnError)
 	className := fs.String("class", "", "verify only this class")
 	quiet := fs.Bool("quiet", false, "suppress OK lines")
@@ -42,14 +44,27 @@ func run(args []string, out io.Writer) (int, error) {
 	violations := fs.Int("violations", 0, "additionally list up to N invalid usages per subsystem")
 	explain := fs.Bool("explain", false, "print a step-by-step explanation for failed claims")
 	stats := fs.Bool("stats", false, "print pipeline cache statistics after verification")
+	var tr obs.CLIFlags
+	tr.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
 	if fs.NArg() == 0 {
 		return 2, fmt.Errorf("no input files (usage: shelleyc [-class NAME] FILE.py ...)")
 	}
+	ctx := tr.Context(context.Background())
+	defer func() {
+		if ferr := tr.Flush(); ferr != nil && err == nil {
+			code, err = 2, fmt.Errorf("writing trace: %w", ferr)
+		}
+	}()
+	// One root span for the whole invocation, so every load and check
+	// shares a single trace in the exported file. Ended before the
+	// deferred Flush (LIFO).
+	ctx, root := obs.Start(ctx, "cli.shelleyc", obs.Int("files", fs.NArg()))
+	defer root.End()
 
-	mod, err := shelley.LoadFiles(fs.Args()...)
+	mod, err := shelley.LoadFilesContext(ctx, fs.Args()...)
 	if err != nil {
 		return 2, err
 	}
@@ -82,7 +97,7 @@ func run(args []string, out io.Writer) (int, error) {
 	failed := false
 	var reports []*shelley.Report
 	for _, c := range classes {
-		report, err := c.Check(checkOpts...)
+		report, err := c.CheckContext(ctx, checkOpts...)
 		if err != nil {
 			return 2, err
 		}

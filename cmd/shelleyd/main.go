@@ -27,6 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only on the opt-in -pprof listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +42,7 @@ import (
 
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/client"
+	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/server"
 )
 
@@ -67,6 +72,11 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	corpus := fs.String("corpus", "testdata", "selfcheck: directory of .py sources")
 	clients := fs.Int("clients", 16, "selfcheck: concurrent clients")
 	requests := fs.Int("requests", 32, "selfcheck: requests per client")
+	quiet := fs.Bool("quiet", false, "suppress the per-request access log")
+	traceFile := fs.String("trace", "", "enable span tracing and write the ring buffer to this file at shutdown")
+	traceFormat := fs.String("trace-format", "chrome", "trace file format: chrome or otlp")
+	traceRing := fs.Int("trace-ring", 0, "enable span tracing with a ring of N spans for GET /v1/trace-export (0 with -trace unset = tracing off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra listener (e.g. 127.0.0.1:6060); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -80,10 +90,29 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 		RequestTimeout: *timeout,
 		CheckWorkers:   *checkWorkers,
 		MaxModules:     *maxModules,
+		Tracing:        *traceFile != "" || *traceRing > 0,
+		TraceRingSize:  *traceRing,
+	}
+	if !*quiet {
+		// Structured access log on stderr; the obs handler stamps each
+		// record with the request's trace and span IDs when tracing is on.
+		cfg.Logger = slog.New(obs.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
 	}
 
 	if *selfcheck {
 		return runSelfcheck(out, cfg, *corpus, *clients, *requests)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener so profiling exposure is an explicit
+		// operator decision, never reachable through the service port.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return 2, fmt.Errorf("pprof listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, http.DefaultServeMux) }()
+		fmt.Fprintf(out, "shelleyd pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 
 	srv := server.New(cfg)
@@ -99,6 +128,12 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return 1, fmt.Errorf("drain incomplete: %w", err)
+	}
+	if *traceFile != "" {
+		if err := obs.WriteFile(*traceFile, *traceFormat, srv.TraceSnapshot()); err != nil {
+			return 1, fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(out, "shelleyd: trace written to %s\n", *traceFile)
 	}
 	fmt.Fprintln(out, "shelleyd: drained clean")
 	return 0, nil

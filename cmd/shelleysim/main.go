@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	shelleysim -class NAME [-plan FILE | -ops op1,op2,...] [-seed N] FILE.py [FILE.py ...]
+//	shelleysim -class NAME [-plan FILE | -ops op1,op2,...] [-seed N] [-trace out.json] FILE.py [FILE.py ...]
 //
 // Exit status: 0 on a clean run, 1 when the plan violates a protocol or
 // leaves subsystems dangling, 2 on usage errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/internal/interp"
+	"github.com/shelley-go/shelley/internal/obs"
 )
 
 func main() {
@@ -32,13 +34,15 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, out io.Writer) (int, error) {
+func run(args []string, out io.Writer) (code int, err error) {
 	fs := flag.NewFlagSet("shelleysim", flag.ContinueOnError)
 	className := fs.String("class", "", "composite class to simulate (required)")
 	planFile := fs.String("plan", "", "file with one operation per line")
 	opsFlag := fs.String("ops", "", "comma-separated operations (alternative to -plan)")
 	seed := fs.Int64("seed", 1, "seed for resolving branch/exit choices")
 	stats := fs.Bool("stats", false, "verify the class before simulating and print pipeline cache statistics")
+	var tr obs.CLIFlags
+	tr.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -48,6 +52,16 @@ func run(args []string, out io.Writer) (int, error) {
 	if *className == "" {
 		return 2, fmt.Errorf("-class is required")
 	}
+	ctx := tr.Context(context.Background())
+	defer func() {
+		if ferr := tr.Flush(); ferr != nil && err == nil {
+			code, err = 2, fmt.Errorf("writing trace: %w", ferr)
+		}
+	}()
+	// One root span for the whole invocation; ended before the deferred
+	// Flush (LIFO).
+	ctx, root := obs.Start(ctx, "cli.shelleysim", obs.String("class", *className))
+	defer root.End()
 
 	plan, err := loadPlan(*planFile, *opsFlag)
 	if err != nil {
@@ -57,7 +71,7 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, fmt.Errorf("empty plan: provide -plan or -ops")
 	}
 
-	mod, err := shelley.LoadFiles(fs.Args()...)
+	mod, err := shelley.LoadFilesContext(ctx, fs.Args()...)
 	if err != nil {
 		return 2, err
 	}
@@ -68,7 +82,7 @@ func run(args []string, out io.Writer) (int, error) {
 	if *stats {
 		// Run the static pipeline so the cache has something to report,
 		// and warn when the plan is driving an unverified class.
-		report, err := c.Check()
+		report, err := c.CheckContext(ctx)
 		if err != nil {
 			return 2, err
 		}
@@ -84,15 +98,20 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	failed := false
+	_, simSpan := obs.Start(ctx, "sim.run",
+		obs.String("class", c.Name()), obs.Int("steps", len(plan)))
 	for i, op := range plan {
 		if err := sys.Invoke(op); err != nil {
 			fmt.Fprintf(out, "step %d: %s FAILED: %v\n", i+1, op, err)
 			failed = true
 			break
 		}
+		simSpan.AddCount("steps.ok")
 		fmt.Fprintf(out, "step %d: %s ok (allowed next: %s)\n",
 			i+1, op, strings.Join(sys.Allowed(), ", "))
 	}
+	simSpan.SetAttr(obs.Bool("failed", failed))
+	simSpan.End()
 	fmt.Fprintf(out, "flat trace: %s\n", strings.Join(sys.Trace(), ", "))
 	if dangling := sys.DanglingSubsystems(); len(dangling) > 0 {
 		fmt.Fprintf(out, "DANGLING SUBSYSTEMS: %s (left in a non-final state)\n",

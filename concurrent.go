@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/shelley-go/shelley/internal/check"
+	"github.com/shelley-go/shelley/internal/obs"
 )
 
 // CheckAllConcurrent verifies every class of the module in parallel,
@@ -42,6 +45,25 @@ func (m *Module) CheckAllContext(ctx context.Context, workers int) ([]*Report, e
 	if workers > len(m.classes) {
 		workers = len(m.classes)
 	}
+	// A fully-warm module is nothing but one report-cache hit per
+	// class, so follow the pipeline's "hits annotate, misses re-time"
+	// rule one level up: collect the memoized reports directly, with no
+	// check.module span and no worker fan-out; under tracing each hit
+	// bumps cache.hit.report on the caller's span instead
+	// (EXPERIMENTS.md P3). A partially-warm module falls through to the
+	// normal path, which re-counts the classes peeked here — the stats
+	// distortion is at most one extra hit per class per warm-up, and
+	// cold or partial traces keep the full span tree.
+	if reports, ok := m.peekAllReports(ctx); ok {
+		return reports, nil
+	}
+	// One "check.module" span brackets the whole fan-out; each class's
+	// "check.class" span (opened inside CheckContext) becomes its child,
+	// so a concurrent run exports one tree per class under one root.
+	ctx, span := obs.Start(ctx, "check.module",
+		obs.Int("classes", len(m.classes)),
+		obs.Int("workers", workers))
+	defer span.End()
 	if workers <= 1 {
 		return m.checkAllSequential(ctx)
 	}
@@ -64,7 +86,7 @@ func (m *Module) CheckAllContext(ctx context.Context, workers int) ([]*Report, e
 				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
-				reports[i], errs[i] = m.classes[i].Check()
+				reports[i], errs[i] = m.classes[i].CheckContext(ctx)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -96,6 +118,24 @@ dispatch:
 	return reports, nil
 }
 
+// peekAllReports collects the memoized report of every class without
+// opening any span, in source order; ok is false as soon as one class
+// misses (the partially-collected clones are discarded and the caller
+// runs the normal spanned path).
+func (m *Module) peekAllReports(ctx context.Context) ([]*Report, bool) {
+	opts := []check.Option{check.WithCache(m.cache)}
+	reports := make([]*Report, len(m.classes))
+	for i, c := range m.classes {
+		r, ok := check.PeekReport(c.model, m.registry, opts...)
+		if !ok {
+			return nil, false
+		}
+		reports[i] = r
+	}
+	obs.SpanFrom(ctx).AddCountN("cache.hit.report", uint64(len(m.classes)))
+	return reports, true
+}
+
 // checkAllSequential is the single-worker path of CheckAllContext: the
 // plain source-order loop with a cancellation check between classes.
 func (m *Module) checkAllSequential(ctx context.Context) ([]*Report, error) {
@@ -104,7 +144,7 @@ func (m *Module) checkAllSequential(ctx context.Context) ([]*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("shelley: check cancelled: %w", err)
 		}
-		r, err := c.Check()
+		r, err := c.CheckContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("shelley: checking %s: %w", c.Name(), err)
 		}

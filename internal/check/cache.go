@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
@@ -47,24 +48,52 @@ func classKey(cfg config, c *model.Class, reg Registry) (string, bool) {
 	return b.String(), true
 }
 
+// PeekReport returns a clone of c's memoized whole-class report when
+// the report stage is already warm: ok is false when the class is
+// uncached, unkeyable, still being built, or cached as an error — the
+// caller then takes the normal CheckContext path. Unlike the peek in
+// CheckContext, a hit is quiet — it does not annotate any span — so
+// Module.CheckAllContext can peek every class and report one
+// aggregated cache.hit.report count on the caller's span instead of
+// one map operation per class (EXPERIMENTS.md P3).
+func PeekReport(c *model.Class, reg Registry, opts ...Option) (*Report, bool) {
+	cfg := buildConfig(opts)
+	if cfg.cache == nil {
+		return nil, false
+	}
+	key, ok := classKey(cfg, c, reg)
+	if !ok {
+		return nil, false
+	}
+	v, cerr, hit := cfg.cache.PeekQuiet(pipeline.StageReport, key)
+	if !hit || cerr != nil {
+		return nil, false
+	}
+	r, ok := v.(*Report)
+	if !ok || r == nil {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
 // specDFA returns the class's protocol automaton, memoized under
 // StageSpec. Cached automata are shared read-only.
 func (cfg config) specDFA(c *model.Class, prefix string) (*automata.DFA, error) {
-	return pipeline.Memo(cfg.cache, pipeline.StageSpec,
+	return pipeline.MemoCtx(cfg.ctx, cfg.cache, pipeline.StageSpec,
 		pipeline.SpecKey(c.Fingerprint(), prefix),
-		func() (*automata.DFA, error) { return c.SpecDFA(prefix) })
+		func(context.Context) (*automata.DFA, error) { return c.SpecDFA(prefix) })
 }
 
 // behaviorDFA compiles the minimal DFA of the simplified behavior of a
 // method body, memoized per stage (inference, then compilation).
 func (cfg config) behaviorDFA(p ir.Program) *automata.DFA {
-	return cfg.cache.BehaviorDFA(p)
+	return cfg.cache.BehaviorDFA(cfg.ctx, p)
 }
 
 // minimalDFA compiles one regular expression, memoized by its
 // canonical key.
 func (cfg config) minimalDFA(r regex.Regex) *automata.DFA {
-	return cfg.cache.MinimalDFA(r)
+	return cfg.cache.MinimalDFA(cfg.ctx, r)
 }
 
 // flatPair bundles the flattened ε-automaton (needed for trace
@@ -81,7 +110,11 @@ type flatPair struct {
 // flatten substitution or the subset construction for the same class
 // concurrently.
 func flattened(cfg config, c *model.Class, reg Registry, alphabet []string) (*flatAutomaton, *automata.DFA, error) {
-	build := func() (flatPair, error) {
+	build := func(ctx context.Context) (flatPair, error) {
+		// The span-carrying ctx from the memo layer replaces cfg.ctx so
+		// nested stage builds parent under the flatten span.
+		cfg := cfg
+		cfg.ctx = ctx
 		flat, err := flattenWith(cfg, c, alphabet)
 		if err != nil {
 			return flatPair{}, err
@@ -90,10 +123,10 @@ func flattened(cfg config, c *model.Class, reg Registry, alphabet []string) (*fl
 	}
 	if cfg.cache != nil {
 		if key, ok := classKey(cfg, c, reg); ok {
-			pair, err := pipeline.Memo(cfg.cache, pipeline.StageFlatten, key, build)
+			pair, err := pipeline.MemoCtx(cfg.ctx, cfg.cache, pipeline.StageFlatten, key, build)
 			return pair.flat, pair.dfa, err
 		}
 	}
-	pair, err := build()
+	pair, err := build(cfg.ctx)
 	return pair.flat, pair.dfa, err
 }

@@ -18,11 +18,13 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/model"
+	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/regex"
 )
@@ -173,20 +175,60 @@ func (r *Report) String() string {
 // missing from the registry); verification findings are reported in the
 // Report instead.
 func Check(c *model.Class, reg Registry, opts ...Option) (*Report, error) {
+	return CheckContext(context.Background(), c, reg, opts...)
+}
+
+// CheckContext is Check with a context threaded through for tracing:
+// the whole verification runs inside a "check.class" span (child of
+// ctx's active span), every cold pipeline stage it triggers opens a
+// nested "pipeline.<stage>" span, and every warm lookup increments a
+// cache-hit counter on the enclosing span. A warm whole-report hit
+// follows the same rule one level up: it increments cache.hit.report
+// on the caller's span instead of opening a check.class span — the
+// lookup is sub-microsecond and a span per hit would dominate both the
+// timeline and the overhead budget (EXPERIMENTS.md P3). When ctx
+// carries no tracer the behavior and output are identical to Check.
+func CheckContext(ctx context.Context, c *model.Class, reg Registry, opts ...Option) (_ *Report, err error) {
 	cfg := buildConfig(opts)
+	// Whole-report memoization: the report is a pure function of the
+	// class content, the analysis mode, and the subsystems' content, all
+	// of which classKey captures. A warm Check is a cache lookup plus a
+	// deep copy, probed before any span is opened.
+	key, memoized := "", false
 	if cfg.cache != nil {
-		// Whole-report memoization: the report is a pure function of the
-		// class content, the analysis mode, and the subsystems' content,
-		// all of which classKey captures. A warm Check is a cache lookup
-		// plus a deep copy.
-		if key, ok := classKey(cfg, c, reg); ok {
-			report, err := pipeline.Memo(cfg.cache, pipeline.StageReport, key,
-				func() (*Report, error) { return check(cfg, c, reg) })
-			if err != nil {
-				return nil, err
+		if k, ok := classKey(cfg, c, reg); ok {
+			key, memoized = k, true
+			if v, cerr, hit := cfg.cache.Peek(ctx, pipeline.StageReport, key); hit {
+				if cerr != nil {
+					return nil, cerr
+				}
+				if r, ok := v.(*Report); ok && r != nil {
+					return r.Clone(), nil
+				}
 			}
-			return report.Clone(), nil
 		}
+	}
+	ctx, span := obs.Start(ctx, "check.class",
+		obs.String("class", c.Name),
+		obs.Int("subsystems", len(c.SubsystemNames)))
+	defer func() {
+		if err != nil {
+			span.SetAttr(obs.String("error", err.Error()))
+		}
+		span.End()
+	}()
+	cfg.ctx = ctx
+	if memoized {
+		report, err := pipeline.MemoCtx(ctx, cfg.cache, pipeline.StageReport, key,
+			func(ctx context.Context) (*Report, error) {
+				cfg := cfg
+				cfg.ctx = ctx
+				return check(cfg, c, reg)
+			})
+		if err != nil {
+			return nil, err
+		}
+		return report.Clone(), nil
 	}
 	return check(cfg, c, reg)
 }

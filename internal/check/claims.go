@@ -67,7 +67,7 @@ func checkClaims(cfg config, c *model.Class, reg Registry, report *Report) error
 				})
 			}
 		}
-		violations := cfg.cache.ClaimNegation(formula, claim.Formula, alphabet)
+		violations := cfg.cache.ClaimNegation(cfg.ctx, formula, claim.Formula, alphabet)
 		// Shortest complete trace that violates the claim.
 		type pair struct{ f, v int }
 		type node struct {

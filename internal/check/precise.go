@@ -1,6 +1,8 @@
 package check
 
 import (
+	"context"
+
 	"github.com/shelley-go/shelley/internal/automata"
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/model"
@@ -17,6 +19,11 @@ type config struct {
 	// cache memoizes the expensive pipeline stages; nil disables
 	// memoization (see WithCache).
 	cache *pipeline.Cache
+
+	// ctx carries the active obs span (if any) so pipeline stages open
+	// as children of the verification that triggered them. Never nil
+	// after buildConfig.
+	ctx context.Context
 }
 
 // Precise switches the composite analysis to *exit-aware* flattening:
@@ -31,9 +38,12 @@ func Precise() Option {
 }
 
 func buildConfig(opts []Option) config {
-	var c config
+	c := config{ctx: context.Background()}
 	for _, apply := range opts {
 		apply(&c)
+	}
+	if c.ctx == nil {
+		c.ctx = context.Background()
 	}
 	return c
 }

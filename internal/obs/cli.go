@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"flag"
+)
+
+// CLIFlags is the shared -trace/-trace-format wiring of the command
+// line tools (shelleyc, shelleysim; shelleyd wires its own because the
+// daemon's ring lives in the server). Register the flags, derive the
+// run context with Context, and Flush once the run is done:
+//
+//	var tr obs.CLIFlags
+//	tr.Register(fs)
+//	ctx := tr.Context(context.Background())
+//	defer tr.Flush()
+type CLIFlags struct {
+	// File is the -trace destination; empty disables tracing entirely
+	// (the run pays one context lookup per instrumentation point).
+	File string
+
+	// Format is the -trace-format value: "chrome" (default) or "otlp".
+	Format string
+
+	ring *Ring
+}
+
+// Register installs the flags on fs.
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.File, "trace", "", "write a span trace of the run to this file (load it in chrome://tracing or ui.perfetto.dev)")
+	fs.StringVar(&f.Format, "trace-format", "chrome", "trace file format: chrome or otlp")
+}
+
+// Context returns ctx carrying a fresh tracer when -trace was given,
+// ctx unchanged otherwise.
+func (f *CLIFlags) Context(ctx context.Context) context.Context {
+	if f.File == "" {
+		return ctx
+	}
+	f.ring = NewRing(1 << 16)
+	return ContextWithTracer(ctx, New(WithExporter(f.ring)))
+}
+
+// Flush writes the collected spans to the -trace file; a no-op when
+// tracing is off.
+func (f *CLIFlags) Flush() error {
+	if f.ring == nil {
+		return nil
+	}
+	return WriteFile(f.File, f.Format, f.ring.Snapshot())
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedWorkload emits a small deterministic span tree — a stand-in for
+// one class verification — using a stubbed clock and sequential IDs,
+// so the exporter goldens below are byte-reproducible.
+func fixedWorkload(t *testing.T) []SpanData {
+	t.Helper()
+	ring := NewRing(16)
+	tr := New(WithExporter(ring), WithDeterministicIDs(), WithClock(stubClock(time.Millisecond)))
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "check.class", String("class", "Thermostat"))
+	fctx, flatten := Start(ctx, "pipeline.flatten")
+	_, dfa := Start(fctx, "pipeline.dfa")
+	dfa.End()
+	flatten.AddCount("cache.hit.behavior")
+	flatten.AddCount("cache.hit.behavior")
+	flatten.End()
+	root.End()
+	return ring.Snapshot()
+}
+
+const goldenChrome = `{
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "trace 00000000000000000000000000000001"
+   }
+  },
+  {
+   "name": "pipeline.dfa",
+   "cat": "shelley",
+   "ph": "X",
+   "ts": 1700000000003000,
+   "dur": 1000,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "span_id": "0000000000000004",
+    "trace_id": "00000000000000000000000000000001"
+   }
+  },
+  {
+   "name": "pipeline.flatten",
+   "cat": "shelley",
+   "ph": "X",
+   "ts": 1700000000002000,
+   "dur": 3000,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "cache.hit.behavior": 2,
+    "span_id": "0000000000000003",
+    "trace_id": "00000000000000000000000000000001"
+   }
+  },
+  {
+   "name": "check.class",
+   "cat": "shelley",
+   "ph": "X",
+   "ts": 1700000000001000,
+   "dur": 5000,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "class": "Thermostat",
+    "span_id": "0000000000000002",
+    "trace_id": "00000000000000000000000000000001"
+   }
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+
+func TestChromeTraceGolden(t *testing.T) {
+	spans := fixedWorkload(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if got := buf.String(); got != goldenChrome {
+		t.Fatalf("chrome trace drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenChrome)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("golden output is not valid JSON")
+	}
+}
+
+const goldenOTLP = `{
+ "resourceSpans": [
+  {
+   "resource": {
+    "attributes": [
+     {
+      "key": "service.name",
+      "value": {
+       "stringValue": "shelley"
+      }
+     }
+    ]
+   },
+   "scopeSpans": [
+    {
+     "scope": {
+      "name": "github.com/shelley-go/shelley/internal/obs"
+     },
+     "spans": [
+      {
+       "traceId": "00000000000000000000000000000001",
+       "spanId": "0000000000000004",
+       "parentSpanId": "0000000000000003",
+       "name": "pipeline.dfa",
+       "kind": 1,
+       "startTimeUnixNano": "1700000000003000000",
+       "endTimeUnixNano": "1700000000004000000"
+      },
+      {
+       "traceId": "00000000000000000000000000000001",
+       "spanId": "0000000000000003",
+       "parentSpanId": "0000000000000002",
+       "name": "pipeline.flatten",
+       "kind": 1,
+       "startTimeUnixNano": "1700000000002000000",
+       "endTimeUnixNano": "1700000000005000000",
+       "attributes": [
+        {
+         "key": "cache.hit.behavior",
+         "value": {
+          "intValue": "2"
+         }
+        }
+       ]
+      },
+      {
+       "traceId": "00000000000000000000000000000001",
+       "spanId": "0000000000000002",
+       "name": "check.class",
+       "kind": 1,
+       "startTimeUnixNano": "1700000000001000000",
+       "endTimeUnixNano": "1700000000006000000",
+       "attributes": [
+        {
+         "key": "class",
+         "value": {
+          "stringValue": "Thermostat"
+         }
+        }
+       ]
+      }
+     ]
+    }
+   ]
+  }
+ ]
+}
+`
+
+func TestOTLPGolden(t *testing.T) {
+	spans := fixedWorkload(t)
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, spans); err != nil {
+		t.Fatalf("WriteOTLP: %v", err)
+	}
+	if got := buf.String(); got != goldenOTLP {
+		t.Fatalf("OTLP output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenOTLP)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("golden output is not valid JSON")
+	}
+}
+
+func TestWriteFileFormats(t *testing.T) {
+	spans := fixedWorkload(t)
+	dir := t.TempDir()
+
+	chromePath := dir + "/trace.json"
+	if err := WriteFile(chromePath, "chrome", spans); err != nil {
+		t.Fatalf("WriteFile chrome: %v", err)
+	}
+	otlpPath := dir + "/trace.otlp.json"
+	if err := WriteFile(otlpPath, "otlp", spans); err != nil {
+		t.Fatalf("WriteFile otlp: %v", err)
+	}
+	if err := WriteFile(dir+"/x.json", "protobuf", spans); err == nil ||
+		!strings.Contains(err.Error(), "unknown trace format") {
+		t.Fatalf("unknown format error = %v", err)
+	}
+}
+
+func TestChromeTraceMultipleTracesGetOwnRows(t *testing.T) {
+	spans := []SpanData{
+		{TraceID: "t1", SpanID: "s1", Name: "a"},
+		{TraceID: "t2", SpanID: "s2", Name: "b"},
+		{TraceID: "t1", SpanID: "s3", Name: "c"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	tids := make(map[string]int)
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" {
+			tids[e.Name] = e.Tid
+		}
+	}
+	if tids["a"] != tids["c"] {
+		t.Errorf("same trace split across rows: a=%d c=%d", tids["a"], tids["c"])
+	}
+	if tids["a"] == tids["b"] {
+		t.Errorf("distinct traces share row %d", tids["a"])
+	}
+}
+
+func TestEmptySnapshotsEncodeAsEmptyArrays(t *testing.T) {
+	var chrome, otlp bytes.Buffer
+	if err := WriteChromeTrace(&chrome, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOTLP(&otlp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(chrome.String(), "null") || strings.Contains(otlp.String(), "null") {
+		t.Fatalf("empty exports must use [] not null:\n%s\n%s", chrome.String(), otlp.String())
+	}
+}

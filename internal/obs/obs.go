@@ -1,0 +1,380 @@
+// Package obs is the observability layer of the verification pipeline:
+// a zero-dependency span tracer with context-propagated parent linkage,
+// pluggable exporters (in-memory ring buffer, Chrome trace-event JSON,
+// OTLP-style JSON), and a log/slog bridge that stamps every structured
+// log record with the active trace and span IDs.
+//
+// The design mirrors OpenTelemetry's API shape at a fraction of its
+// surface: obs.Start(ctx, name, attrs...) opens a span whose parent is
+// whatever span ctx already carries, and span.End() delivers the
+// finished record to every exporter of the tracer. When ctx carries no
+// tracer, Start returns a nil span whose methods are all no-ops — the
+// entire layer costs one context lookup per instrumentation point when
+// tracing is off, which is what keeps the warm-cache overhead under the
+// budget recorded in EXPERIMENTS.md P3.
+//
+// Trace IDs are 32 lowercase hex characters and span IDs 16, matching
+// the OTLP wire conventions so exported files load into standard
+// tooling unchanged.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings;
+// numeric annotations use the Int constructor, which formats.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: strconv.Itoa(value)} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: strconv.FormatBool(value)} }
+
+// SpanData is one finished span as delivered to exporters: immutable,
+// self-contained, safe to retain.
+type SpanData struct {
+	// TraceID groups every span of one logical operation (one CLI run,
+	// one HTTP request); 32 hex characters.
+	TraceID string
+
+	// SpanID identifies this span within its trace; 16 hex characters.
+	SpanID string
+
+	// ParentID is the SpanID of the enclosing span, empty for roots.
+	ParentID string
+
+	// Name is the instrumentation point, e.g. "pipeline.flatten".
+	Name string
+
+	// Start and End bound the span's wall time.
+	Start, End time.Time
+
+	// Attrs are the annotations, in the order they were set.
+	Attrs []Attr
+
+	// Counts are the named counters accumulated with Span.AddCount —
+	// the cache-hit annotations of the pipeline use these so a hit
+	// increments a number instead of re-timing the stage.
+	Counts map[string]uint64
+}
+
+// Duration is the span's wall time.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use; Export is called synchronously from Span.End.
+type Exporter interface {
+	Export(SpanData)
+}
+
+// Tracer creates spans and fans finished ones out to its exporters.
+// The zero value is not usable; create tracers with New.
+type Tracer struct {
+	exporters []Exporter
+	now       func() time.Time
+
+	// seed is the random high half of every trace ID the tracer
+	// generates (zero in deterministic mode); ids is the monotone low
+	// half, shared by trace and span IDs.
+	seed uint64
+	ids  atomic.Uint64
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithExporter adds an exporter; every finished span is delivered to
+// each exporter in registration order.
+func WithExporter(e Exporter) Option {
+	return func(t *Tracer) { t.exporters = append(t.exporters, e) }
+}
+
+// WithClock substitutes the time source — the golden exporter tests
+// stub it to a fixed, stepping clock so output is byte-reproducible.
+func WithClock(now func() time.Time) Option {
+	return func(t *Tracer) { t.now = now }
+}
+
+// WithDeterministicIDs makes trace and span IDs sequential from zero
+// instead of random-seeded; for tests only.
+func WithDeterministicIDs() Option {
+	return func(t *Tracer) { t.seed = 0; t.ids.Store(0) }
+}
+
+// New returns a tracer. With no options it exports nowhere (spans are
+// timed and dropped), which is still useful for overhead measurement.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{now: time.Now}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		t.seed = binary.BigEndian.Uint64(b[:])
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+const hexDigits = "0123456789abcdef"
+
+// putHex16 writes v as 16 zero-padded lowercase hex characters —
+// equivalent to %016x without fmt's reflection cost; span creation is
+// the tracing hot path (see EXPERIMENTS.md P3).
+func putHex16(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+func (t *Tracer) newTraceID() string {
+	var b [32]byte
+	putHex16(b[:16], t.seed)
+	putHex16(b[16:], t.ids.Add(1))
+	return string(b[:])
+}
+
+func (t *Tracer) newSpanID() string {
+	var b [16]byte
+	putHex16(b[:], t.ids.Add(1))
+	return string(b[:])
+}
+
+// Span is one live (not yet ended) span. A nil *Span is valid and all
+// its methods are no-ops, so instrumentation never branches on whether
+// tracing is enabled.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	data  SpanData
+	ended bool
+}
+
+// TraceID returns the span's trace ID ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's ID ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
+// SetAttr annotates the span. Later values for the same key append —
+// exporters show them in order — keeping the hot path allocation-light.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.data.Attrs = append(s.data.Attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// AddCount increments a named counter on the span. The pipeline uses
+// this for cache hits: a warm lookup annotates the enclosing span
+// instead of opening a sub-microsecond child span per hit.
+func (s *Span) AddCount(name string) { s.AddCountN(name, 1) }
+
+// AddCountN adds n to a named counter — the batched form callers use
+// when they already know a whole group of hits happened (one map
+// operation instead of n; see Module.CheckAllContext).
+func (s *Span) AddCountN(name string, n uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.data.Counts == nil {
+			s.data.Counts = make(map[string]uint64)
+		}
+		s.data.Counts[name] += n
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span and delivers it to the tracer's exporters.
+// Idempotent: only the first End exports.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = s.tracer.now()
+	data := s.data
+	s.mu.Unlock()
+	for _, e := range s.tracer.exporters {
+		e.Export(data)
+	}
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// ContextWithTracer returns a context carrying the tracer; every
+// obs.Start under it creates real spans.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, nil when tracing is off.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the context's active span, nil when none (or when
+// tracing is off). The result is safe to use either way.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start opens a span named name as a child of the context's active
+// span (a new root when there is none) and returns a context carrying
+// it. When ctx has no tracer it returns (ctx, nil) after a single
+// context lookup — the tracing-off fast path.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := SpanFrom(ctx)
+	s := t.start(name, parent, "", attrs)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartRoot opens a root span on tracer t — ignoring any active span —
+// with a caller-chosen trace ID (generated when empty; the daemon
+// passes the X-Shelley-Trace request header through here). The
+// returned context carries both the tracer and the span.
+func (t *Tracer) StartRoot(ctx context.Context, name, traceID string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if traceID == "" {
+		traceID = t.newTraceID()
+	}
+	s := t.start(name, nil, traceID, attrs)
+	ctx = context.WithValue(ctx, tracerKey{}, t)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+func (t *Tracer) start(name string, parent *Span, traceID string, attrs []Attr) *Span {
+	s := &Span{tracer: t}
+	s.data.Name = name
+	switch {
+	case parent != nil:
+		s.data.TraceID = parent.TraceID()
+		s.data.ParentID = parent.SpanID()
+	case traceID != "":
+		s.data.TraceID = traceID
+	default:
+		s.data.TraceID = t.newTraceID()
+	}
+	s.data.SpanID = t.newSpanID()
+	s.data.Attrs = attrs
+	s.data.Start = t.now()
+	return s
+}
+
+// Carrier snapshots a context's tracer and active span so both can be
+// re-attached to an unrelated context — the worker-pool seam: a pooled
+// job runs under the pool's deadline context but must keep the
+// admitting request's span as parent.
+type Carrier struct {
+	tracer *Tracer
+	span   *Span
+}
+
+// Carry captures ctx's tracer and span.
+func Carry(ctx context.Context) Carrier {
+	return Carrier{tracer: TracerFrom(ctx), span: SpanFrom(ctx)}
+}
+
+// Context re-attaches the carried tracer and span onto ctx.
+func (c Carrier) Context(ctx context.Context) context.Context {
+	if c.tracer == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, tracerKey{}, c.tracer)
+	if c.span != nil {
+		ctx = context.WithValue(ctx, spanKey{}, c.span)
+	}
+	return ctx
+}
+
+// NewTraceID returns a fresh random 32-hex-character trace ID without
+// needing a tracer — the client SDK uses it to originate the
+// X-Shelley-Trace header when the caller's context carries no span.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// a constant rather than propagate an error nobody can act on.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether id is usable as a trace identifier:
+// 1–64 characters of [0-9a-zA-Z_-]. The daemon regenerates anything
+// else rather than echoing attacker-controlled bytes into logs.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedCountKeys returns a span's counter names in stable order, for
+// deterministic exporter output.
+func sortedCountKeys(counts map[string]uint64) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkStartEnd(b *testing.B) {
+	tr := New(WithExporter(NewRing(1 << 12)))
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "child", String("class", "X"), Int("n", 3))
+		s.AddCount("cache.hit.report")
+		s.End()
+	}
+}

@@ -20,6 +20,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/ir"
 	"github.com/shelley-go/shelley/internal/ltlf"
+	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/regex"
 )
 
@@ -89,6 +91,19 @@ func (s Stage) String() string {
 // NumStages is the number of pipeline stages tracked by Stats.
 const NumStages = numStages
 
+// spanNames and hitCounters are the per-stage span and counter names,
+// precomputed because DoCtx and Peek sit on the warm lookup path:
+// concatenating "pipeline.<stage>" or "cache.hit.<stage>" at lookup
+// time allocates per call even with tracing off (EXPERIMENTS.md P3).
+var spanNames, hitCounters [numStages]string
+
+func init() {
+	for s := StageBehavior; int(s) < numStages; s++ {
+		spanNames[s] = "pipeline." + s.String()
+		hitCounters[s] = "cache.hit." + s.String()
+	}
+}
+
 // shardCount spreads entries over independently locked maps so that
 // concurrent workers contend only when they touch the same key range.
 // A power of two keeps the index computation a mask.
@@ -142,8 +157,25 @@ func shardIndex(key string) int {
 // errors are cached too — the pipeline is deterministic, so an error is
 // as content-addressed as a value. A nil receiver bypasses the cache.
 func (c *Cache) Do(stage Stage, key string, build func() (any, error)) (any, error) {
+	return c.DoCtx(context.Background(), stage, key,
+		func(context.Context) (any, error) { return build() })
+}
+
+// DoCtx is Do with tracing threaded through: a miss runs build inside
+// a "pipeline.<stage>" span (child of ctx's active span, so stage
+// timings nest under the class verification that triggered them), and
+// a hit increments a cache.hit.<stage> counter on the active span
+// instead of opening a child — warm lookups cost nanoseconds and a
+// span each would drown the timeline without adding information. The
+// build callback receives the span-carrying context so nested stages
+// parent correctly. With tracing off (no tracer in ctx) the path is
+// identical to Do.
+func (c *Cache) DoCtx(ctx context.Context, stage Stage, key string, build func(context.Context) (any, error)) (any, error) {
 	if c == nil {
-		return build()
+		ctx, span := obs.Start(ctx, spanNames[stage], obs.Bool("uncached", true))
+		v, err := build(ctx)
+		span.End()
+		return v, err
 	}
 	k := string(rune('0'+int(stage))) + key
 	sh := &c.shards[shardIndex(k)]
@@ -152,12 +184,14 @@ func (c *Cache) Do(stage Stage, key string, build func() (any, error)) (any, err
 		sh.mu.Unlock()
 		<-e.ready
 		c.stats[stage].hits.Add(1)
+		obs.SpanFrom(ctx).AddCount(hitCounters[stage])
 		return e.val, e.err
 	}
 	e := &entry{ready: make(chan struct{})}
 	sh.entries[k] = e
 	sh.mu.Unlock()
 
+	ctx, span := obs.Start(ctx, spanNames[stage])
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -165,12 +199,14 @@ func (c *Cache) Do(stage Stage, key string, build func() (any, error)) (any, err
 			// error, release them, and re-panic.
 			e.err = fmt.Errorf("pipeline: %s build for key %q panicked: %v", stage, key, r)
 			close(e.ready)
+			span.End()
 			panic(r)
 		}
 	}()
-	e.val, e.err = build()
+	e.val, e.err = build(ctx)
 	elapsed := time.Since(start)
 	close(e.ready)
+	span.End()
 
 	st := &c.stats[stage]
 	st.misses.Add(1)
@@ -180,12 +216,57 @@ func (c *Cache) Do(stage Stage, key string, build func() (any, error)) (any, err
 	return e.val, e.err
 }
 
-// Memo is the typed form of Do. A nil cache builds directly.
-func Memo[T any](c *Cache, stage Stage, key string, build func() (T, error)) (T, error) {
+// PeekQuiet is Peek without the span annotation: a successful peek
+// still counts as a stats hit, but the caller owns reporting it to the
+// trace — Module.CheckAllContext peeks every class and adds one
+// aggregated cache.hit.report count instead of one map operation per
+// class (EXPERIMENTS.md P3).
+func (c *Cache) PeekQuiet(stage Stage, key string) (any, error, bool) {
 	if c == nil {
-		return build()
+		return nil, nil, false
 	}
-	v, err := c.Do(stage, key, func() (any, error) { return build() })
+	k := string(rune('0'+int(stage))) + key
+	sh := &c.shards[shardIndex(k)]
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, nil, false
+	}
+	c.stats[stage].hits.Add(1)
+	return e.val, e.err, true
+}
+
+// Peek returns the cached value for (stage, key) when it is already
+// built, without blocking and without building: ok is false when the
+// key is absent, still being built by another goroutine, or the cache
+// is nil. A successful peek counts as a hit and annotates ctx's active
+// span like DoCtx, so callers can use it as a span-free warm fast path
+// (check.CheckContext peeks the report stage before opening its
+// "check.class" span — see EXPERIMENTS.md P3).
+func (c *Cache) Peek(ctx context.Context, stage Stage, key string) (any, error, bool) {
+	v, err, ok := c.PeekQuiet(stage, key)
+	if ok {
+		obs.SpanFrom(ctx).AddCount(hitCounters[stage])
+	}
+	return v, err, ok
+}
+
+// Memo is the typed form of Do. A nil cache builds directly (still
+// inside a span when ctx traces — tracing works with caching off).
+func Memo[T any](c *Cache, stage Stage, key string, build func() (T, error)) (T, error) {
+	return MemoCtx(context.Background(), c, stage, key,
+		func(context.Context) (T, error) { return build() })
+}
+
+// MemoCtx is the typed form of DoCtx.
+func MemoCtx[T any](ctx context.Context, c *Cache, stage Stage, key string, build func(context.Context) (T, error)) (T, error) {
+	v, err := c.DoCtx(ctx, stage, key, func(ctx context.Context) (any, error) { return build(ctx) })
 	if err != nil || v == nil {
 		var zero T
 		return zero, err
@@ -201,9 +282,10 @@ func SpecKey(classFingerprint, prefix string) string {
 }
 
 // Infer returns ⟦p⟧ in the paper-verbatim (unsimplified) form,
-// memoized under StageBehavior.
-func (c *Cache) Infer(p ir.Program) regex.Regex {
-	r, _ := Memo(c, StageBehavior, "raw|"+ir.Fingerprint(p), func() (regex.Regex, error) {
+// memoized under StageBehavior. ctx carries the active span for stage
+// tracing; context.Background() is always valid.
+func (c *Cache) Infer(ctx context.Context, p ir.Program) regex.Regex {
+	r, _ := MemoCtx(ctx, c, StageBehavior, "raw|"+ir.Fingerprint(p), func(context.Context) (regex.Regex, error) {
 		return core.Infer(p), nil
 	})
 	return r
@@ -211,8 +293,8 @@ func (c *Cache) Infer(p ir.Program) regex.Regex {
 
 // InferSimplified returns the language-preserving normalization of
 // ⟦p⟧, memoized under StageBehavior.
-func (c *Cache) InferSimplified(p ir.Program) regex.Regex {
-	r, _ := Memo(c, StageBehavior, "simp|"+ir.Fingerprint(p), func() (regex.Regex, error) {
+func (c *Cache) InferSimplified(ctx context.Context, p ir.Program) regex.Regex {
+	r, _ := MemoCtx(ctx, c, StageBehavior, "simp|"+ir.Fingerprint(p), func(context.Context) (regex.Regex, error) {
 		return regex.Simplify(core.Infer(p)), nil
 	})
 	return r
@@ -222,8 +304,8 @@ func (c *Cache) InferSimplified(p ir.Program) regex.Regex {
 // the canonical regex key. Cached automata are shared read-only; all
 // DFA algorithms in internal/automata are non-mutating, and public API
 // boundaries clone before handing automata to callers.
-func (c *Cache) MinimalDFA(r regex.Regex) *automata.DFA {
-	d, _ := Memo(c, StageDFA, regex.Key(r), func() (*automata.DFA, error) {
+func (c *Cache) MinimalDFA(ctx context.Context, r regex.Regex) *automata.DFA {
+	d, _ := MemoCtx(ctx, c, StageDFA, regex.Key(r), func(context.Context) (*automata.DFA, error) {
 		return automata.CompileMinimal(r), nil
 	})
 	return d
@@ -232,16 +314,16 @@ func (c *Cache) MinimalDFA(r regex.Regex) *automata.DFA {
 // BehaviorDFA is the fused hot path of flattening: the minimal DFA of
 // the simplified behavior of one method body, with both intermediate
 // stages memoized.
-func (c *Cache) BehaviorDFA(p ir.Program) *automata.DFA {
-	return c.MinimalDFA(c.InferSimplified(p))
+func (c *Cache) BehaviorDFA(ctx context.Context, p ir.Program) *automata.DFA {
+	return c.MinimalDFA(ctx, c.InferSimplified(ctx, p))
 }
 
 // ClaimNegation compiles the violation automaton of an LTLf claim,
 // memoized under StageClaim. formulaText must be the source text of f
 // (it is the key; two formulas with equal text are equal).
-func (c *Cache) ClaimNegation(f ltlf.Formula, formulaText string, alphabet []string) *automata.DFA {
+func (c *Cache) ClaimNegation(ctx context.Context, f ltlf.Formula, formulaText string, alphabet []string) *automata.DFA {
 	key := formulaText + "\x00" + strings.Join(alphabet, "\x00")
-	d, _ := Memo(c, StageClaim, key, func() (*automata.DFA, error) {
+	d, _ := MemoCtx(ctx, c, StageClaim, key, func(context.Context) (*automata.DFA, error) {
 		return ltlf.CompileNegation(f, alphabet), nil
 	})
 	return d

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -76,10 +77,10 @@ func TestNilCacheBuildsEveryTime(t *testing.T) {
 	}
 	// The typed helpers must be nil-safe too.
 	p := ir.MustParse("a(); b()")
-	if got := c.Infer(p).String(); got == "" {
+	if got := c.Infer(context.Background(), p).String(); got == "" {
 		t.Fatal("nil cache Infer returned empty regex")
 	}
-	if d := c.MinimalDFA(regex.MustParse("a . b")); d == nil || !d.Accepts([]string{"a", "b"}) {
+	if d := c.MinimalDFA(context.Background(), regex.MustParse("a . b")); d == nil || !d.Accepts([]string{"a", "b"}) {
 		t.Fatal("nil cache MinimalDFA broken")
 	}
 	if got := c.Stats(); len(got.Stages) != NumStages {
@@ -172,17 +173,17 @@ func TestMemoTyped(t *testing.T) {
 func TestInferMatchesCore(t *testing.T) {
 	c := New()
 	p := ir.MustParse("loop(*) { a(); if(*) { b(); return } else { c() } }")
-	raw := c.Infer(p)
-	simp := c.InferSimplified(p)
+	raw := c.Infer(context.Background(), p)
+	simp := c.InferSimplified(context.Background(), p)
 	if !regex.Equivalent(raw, simp) {
 		t.Fatal("simplified behavior changed the language")
 	}
 	// Warm path returns the identical artifact.
-	if c.Infer(p).String() != raw.String() {
+	if c.Infer(context.Background(), p).String() != raw.String() {
 		t.Fatal("warm Infer differs")
 	}
-	d1 := c.BehaviorDFA(p)
-	d2 := c.BehaviorDFA(p)
+	d1 := c.BehaviorDFA(context.Background(), p)
+	d2 := c.BehaviorDFA(context.Background(), p)
 	if d1 != d2 {
 		t.Fatal("warm BehaviorDFA is not the shared cached automaton")
 	}
@@ -191,13 +192,13 @@ func TestInferMatchesCore(t *testing.T) {
 func TestClaimNegationCachedByTextAndAlphabet(t *testing.T) {
 	c := New()
 	f := ltlf.MustParse("(!a) W b")
-	d1 := c.ClaimNegation(f, "(!a) W b", []string{"a", "b"})
-	d2 := c.ClaimNegation(f, "(!a) W b", []string{"a", "b"})
+	d1 := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b"})
+	d2 := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b"})
 	if d1 != d2 {
 		t.Fatal("same formula and alphabet must share one cached automaton")
 	}
 	// A different alphabet is a different language — it must not alias.
-	d3 := c.ClaimNegation(f, "(!a) W b", []string{"a", "b", "c"})
+	d3 := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b", "c"})
 	if d3 == d1 {
 		t.Fatal("distinct alphabets alias one cache entry")
 	}

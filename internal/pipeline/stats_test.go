@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	tests := []struct {
+		name string
+		d    time.Duration
+		want int
+	}{
+		{"zero lands in the first bucket", 0, 0},
+		{"below first bound", 9 * time.Microsecond, 0},
+		{"exact first bound is inclusive", 10 * time.Microsecond, 0},
+		{"just past first bound", 10*time.Microsecond + 1, 1},
+		{"exact second bound", 100 * time.Microsecond, 1},
+		{"exact 1ms bound", time.Millisecond, 2},
+		{"exact 10ms bound", 10 * time.Millisecond, 3},
+		{"exact last bound", 100 * time.Millisecond, 4},
+		{"just past last bound overflows", 100*time.Millisecond + 1, NumBuckets - 1},
+		{"effectively +Inf overflows", time.Hour, NumBuckets - 1},
+		{"negative clamps to first bucket", -time.Second, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BucketIndex(tt.d); got != tt.want {
+				t.Errorf("BucketIndex(%v) = %d, want %d", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBucketIndexAlwaysInRange(t *testing.T) {
+	for _, d := range []time.Duration{0, 1, time.Nanosecond, time.Microsecond,
+		time.Millisecond, time.Second, time.Hour, -1} {
+		if i := BucketIndex(d); i < 0 || i >= NumBuckets {
+			t.Errorf("BucketIndex(%v) = %d out of [0, %d)", d, i, NumBuckets)
+		}
+	}
+}
+
+func TestBucketBoundMatchesIndex(t *testing.T) {
+	// Every non-overflow bucket's bound must map back into that bucket.
+	for i := 0; i < NumBuckets-1; i++ {
+		bound := BucketBound(i)
+		if bound < 0 {
+			t.Fatalf("bucket %d has no bound", i)
+		}
+		if got := BucketIndex(bound); got != i {
+			t.Errorf("BucketIndex(BucketBound(%d)=%v) = %d", i, bound, got)
+		}
+		if got := BucketIndex(bound + 1); got != i+1 {
+			t.Errorf("BucketIndex(bound+1) = %d, want %d", got, i+1)
+		}
+	}
+	if BucketBound(NumBuckets-1) >= 0 {
+		t.Error("overflow bucket must report a negative bound")
+	}
+	if BucketBound(-1) >= 0 || BucketBound(NumBuckets) >= 0 {
+		t.Error("out-of-range buckets must report a negative bound")
+	}
+	if len(BucketLabels()) != NumBuckets {
+		t.Errorf("BucketLabels() has %d entries, want %d", len(BucketLabels()), NumBuckets)
+	}
+}

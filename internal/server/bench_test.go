@@ -1,8 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,8 +15,12 @@ import (
 
 // benchServer boots a daemon sized like the default production config.
 func benchServer(b *testing.B) *client.Client {
+	return benchServerCfg(b, Config{RequestTimeout: 60 * time.Second})
+}
+
+func benchServerCfg(b *testing.B, cfg Config) *client.Client {
 	b.Helper()
-	srv := New(Config{RequestTimeout: 60 * time.Second})
+	srv := New(cfg)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -64,6 +71,72 @@ func BenchmarkServerCheckWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerCheckWarmTraced is the warm path with tracing on —
+// the shelleyd -trace configuration. Each request opens one http.check
+// root span into the ring buffer; the per-class report hits annotate
+// it as one aggregated counter. EXPERIMENTS.md P3 records the ratio
+// against BenchmarkServerCheckWarm and attributes the delta (one root
+// span plus GC amplification of its allocations in this closed loop;
+// the Inproc pair below isolates the handler-side cost).
+func BenchmarkServerCheckWarmTraced(b *testing.B) {
+	cl := benchServerCfg(b, Config{RequestTimeout: 60 * time.Second, Tracing: true})
+	ctx := context.Background()
+	src := syntheticSource(4, "warm")
+	if _, err := cl.Check(ctx, client.CheckRequest{Source: src}); err != nil {
+		b.Fatal(err)
+	}
+	fp := client.Fingerprint(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Check(ctx, client.CheckRequest{Fingerprint: fp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCheckWarmInproc drives the mux directly with a ResponseRecorder
+// — no sockets — so the handler-layer cost is isolated from loopback
+// scheduling noise. The Inproc pair below is the denominator used to
+// attribute the traced-vs-plain delta in EXPERIMENTS.md P3.
+func benchCheckWarmInproc(b *testing.B, cfg Config) {
+	b.Helper()
+	src := syntheticSource(4, "warm")
+	primeBody, _ := json.Marshal(client.CheckRequest{Source: src})
+	reqBody, _ := json.Marshal(client.CheckRequest{Fingerprint: client.Fingerprint(src)})
+	srv := New(cfg)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	w := httptest.NewRecorder()
+	srv.mux.ServeHTTP(w, httptest.NewRequest("POST", "/v1/check", bytes.NewReader(primeBody)))
+	if w.Code != 200 {
+		b.Fatalf("prime: %d %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		srv.mux.ServeHTTP(w, httptest.NewRequest("POST", "/v1/check", bytes.NewReader(reqBody)))
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+func BenchmarkServerCheckWarmInproc(b *testing.B) {
+	benchCheckWarmInproc(b, Config{RequestTimeout: 60 * time.Second})
+}
+
+func BenchmarkServerCheckWarmInprocTraced(b *testing.B) {
+	benchCheckWarmInproc(b, Config{RequestTimeout: 60 * time.Second, Tracing: true})
 }
 
 // BenchmarkServerCheckCoalesced measures identical requests raced from

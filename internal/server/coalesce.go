@@ -122,7 +122,7 @@ func (mc *moduleCache) get(ctx context.Context, fp, source string) (*shelley.Mod
 	mc.mu.Unlock()
 
 	mc.met.moduleMisses.Add(1)
-	e.mod, e.err = shelley.LoadReader(shortFP(fp), strings.NewReader(source))
+	e.mod, e.err = shelley.LoadReaderContext(ctx, shortFP(fp), strings.NewReader(source))
 	close(e.ready)
 	if e.err != nil {
 		mc.mu.Lock()

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -36,6 +37,7 @@ import (
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/client"
 	"github.com/shelley-go/shelley/internal/check"
+	"github.com/shelley-go/shelley/internal/obs"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -64,6 +66,20 @@ type Config struct {
 	// MaxModules bounds resident modules; beyond it, settled entries
 	// are evicted arbitrarily. 0 means 256.
 	MaxModules int
+
+	// Logger receives one structured access record per request (method,
+	// path, status, duration, coalesced flag, trace ID). nil disables
+	// access logging — the -quiet daemon flag.
+	Logger *slog.Logger
+
+	// Tracing turns on the span tracer: every request runs under a root
+	// span (trace ID from the X-Shelley-Trace header when the client
+	// sends one) and finished spans land in an in-memory ring served by
+	// GET /v1/trace-export.
+	Tracing bool
+
+	// TraceRingSize caps the span ring; 0 means 4096.
+	TraceRingSize int
 
 	// jobHook, when set, runs at the start of every pooled job — a
 	// test-only seam that lets the suite hold workers at a barrier and
@@ -105,6 +121,12 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 
+	// tracer and ring are non-nil iff Config.Tracing; logger is
+	// Config.Logger verbatim (nil = quiet).
+	tracer *obs.Tracer
+	ring   *obs.Ring
+	logger *slog.Logger
+
 	httpSrv  *http.Server
 	listener net.Listener
 
@@ -119,20 +141,40 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	met := newMetrics()
 	s := &Server{
-		cfg:     cfg,
-		modules: newModuleCache(cfg.MaxModules, met),
-		co:      newCoalescer(),
-		pool:    newPool(cfg.Workers, cfg.QueueDepth, met, cfg.jobHook),
+		cfg:        cfg,
+		modules:    newModuleCache(cfg.MaxModules, met),
+		co:         newCoalescer(),
+		pool:       newPool(cfg.Workers, cfg.QueueDepth, met, cfg.jobHook),
 		met:        met,
 		mux:        http.NewServeMux(),
 		poolClosed: make(chan struct{}),
+		logger:     cfg.Logger,
+	}
+	if cfg.Tracing {
+		size := cfg.TraceRingSize
+		if size <= 0 {
+			size = 4096
+		}
+		s.ring = obs.NewRing(size)
+		s.tracer = obs.New(obs.WithExporter(s.ring))
 	}
 	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
 	s.mux.HandleFunc("POST /v1/infer", s.instrument("infer", s.handleInfer))
 	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/trace-export", s.handleTraceExport)
 	return s
+}
+
+// TraceSnapshot returns the buffered spans of the daemon's trace ring,
+// oldest first; nil when tracing is off. cmd/shelleyd drains this into
+// the -trace file at shutdown.
+func (s *Server) TraceSnapshot() []obs.SpanData {
+	if s.ring == nil {
+		return nil
+	}
+	return s.ring.Snapshot()
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -193,14 +235,53 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// instrument wraps a handler with inflight/latency/status accounting.
+// reqInfo rides the request context so execute can report back to
+// instrument whether this request was coalesced onto another's work.
+type reqInfoKey struct{}
+
+type reqInfo struct{ coalesced atomic.Bool }
+
+// instrument wraps a handler with inflight/latency/status accounting,
+// a per-request root span (trace ID taken from the X-Shelley-Trace
+// header when valid, generated otherwise, and always echoed back in
+// the response header), and one structured access-log record.
 func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	spanName := "http." + endpoint // hoisted off the per-request path
 	return func(w http.ResponseWriter, r *http.Request) {
+		traceID := r.Header.Get("X-Shelley-Trace")
+		if !obs.ValidTraceID(traceID) {
+			traceID = obs.NewTraceID()
+		}
+		// The header goes out even with tracing off: request/response
+		// correlation must not depend on the span ring being enabled.
+		w.Header().Set("X-Shelley-Trace", traceID)
+		info := &reqInfo{}
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+		var span *obs.Span
+		if s.tracer != nil {
+			ctx, span = s.tracer.StartRoot(ctx, spanName, traceID,
+				obs.String("method", r.Method), obs.String("path", r.URL.Path))
+		}
+		r = r.WithContext(ctx)
+
 		s.met.inflight.Add(1)
 		start := time.Now()
 		code := h(w, r)
 		s.met.inflight.Add(-1)
-		s.met.observe(endpoint, code, time.Since(start))
+		elapsed := time.Since(start)
+		s.met.observe(endpoint, code, elapsed)
+
+		span.SetAttr(obs.Int("status", code), obs.Bool("coalesced", info.coalesced.Load()))
+		span.End()
+		if s.logger != nil {
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "access",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", code),
+				slog.Duration("duration", elapsed),
+				slog.Bool("coalesced", info.coalesced.Load()),
+				slog.String("trace", traceID))
+		}
 	}
 }
 
@@ -254,10 +335,14 @@ func (s *Server) resolveModule(w http.ResponseWriter, r *http.Request, source, f
 func (s *Server) execute(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) (int, []byte)) int {
 	c, leader := s.co.get(key)
 	if leader {
+		// Pooled jobs run under the pool's deadline context, not the
+		// request's; the carrier re-attaches the leader's tracer and
+		// root span so the work still nests under the request trace.
+		carrier := obs.Carry(r.Context())
 		j := job{
 			deadline: time.Now().Add(s.cfg.RequestTimeout),
 			run: func(ctx context.Context) {
-				status, body := fn(ctx)
+				status, body := fn(carrier.Context(ctx))
 				s.co.forget(key)
 				c.resolve(status, body)
 			},
@@ -278,6 +363,9 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, key string, fn 
 		}
 	} else {
 		s.met.coalesced.Add(1)
+		if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+			info.coalesced.Store(true)
+		}
 	}
 	select {
 	case <-c.done:
@@ -315,7 +403,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 				opts = append(opts, check.Precise())
 			}
 			var rep *shelley.Report
-			rep, err = cls.Check(opts...)
+			rep, err = cls.CheckContext(ctx, opts...)
 			if rep != nil {
 				reports = []*shelley.Report{rep}
 			}
@@ -347,7 +435,7 @@ func checkAllPrecise(ctx context.Context, mod *shelley.Module) ([]*shelley.Repor
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		rep, err := c.Check(shelley.Precise())
+		rep, err := c.CheckContext(ctx, shelley.Precise())
 		if err != nil {
 			return nil, fmt.Errorf("checking %s: %w", c.Name(), err)
 		}
@@ -439,6 +527,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
+}
+
+// handleTraceExport serves the in-memory span ring as Chrome
+// trace-event JSON (default) or OTLP JSON (?format=otlp) — the debug
+// window into a live daemon's recent work.
+func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled; start shelleyd with -trace or -trace-ring")
+		return
+	}
+	spans := s.ring.Snapshot()
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		err = obs.WriteChromeTrace(w, spans)
+	case "otlp":
+		w.Header().Set("Content-Type", "application/json")
+		err = obs.WriteOTLP(w, spans)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format "+format+" (want chrome or otlp)")
+		return
+	}
+	if err != nil && s.logger != nil {
+		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "trace-export write failed",
+			slog.String("error", err.Error()))
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

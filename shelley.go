@@ -1,6 +1,7 @@
 package shelley
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"github.com/shelley-go/shelley/internal/learn"
 	"github.com/shelley-go/shelley/internal/model"
 	"github.com/shelley-go/shelley/internal/nusmv"
+	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/pyast"
 	"github.com/shelley-go/shelley/internal/pyexec"
@@ -103,6 +105,21 @@ type Module struct {
 // bodies and never touch the filesystem; LoadSource and LoadFile
 // delegate to it.
 func LoadReader(name string, r io.Reader) (*Module, error) {
+	return LoadReaderContext(context.Background(), name, r)
+}
+
+// LoadReaderContext is LoadReader with tracing threaded through: the
+// parse and modeling of the whole source runs inside a "load.module"
+// span (child of ctx's active span) annotated with the source name and
+// class count. With no tracer in ctx it is identical to LoadReader.
+func LoadReaderContext(ctx context.Context, name string, r io.Reader) (_ *Module, err error) {
+	_, span := obs.Start(ctx, "load.module", obs.String("source", name))
+	defer func() {
+		if err != nil {
+			span.SetAttr(obs.String("error", err.Error()))
+		}
+		span.End()
+	}()
 	b, err := io.ReadAll(r)
 	if err != nil {
 		return nil, loadErr(name, err)
@@ -120,6 +137,7 @@ func LoadReader(name string, r io.Reader) (*Module, error) {
 		m.registry[mc.Name] = mc
 		m.classes = append(m.classes, &Class{model: mc, ast: cls, module: m})
 	}
+	span.SetAttr(obs.Int("classes", len(m.classes)))
 	return m, nil
 }
 
@@ -140,20 +158,30 @@ func LoadSource(src string) (*Module, error) {
 
 // LoadFile is LoadReader over a file's contents.
 func LoadFile(path string) (*Module, error) {
+	return loadFileContext(context.Background(), path)
+}
+
+func loadFileContext(ctx context.Context, path string) (*Module, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("shelley: %w", err)
 	}
 	defer f.Close()
-	return LoadReader(path, f)
+	return LoadReaderContext(ctx, path, f)
 }
 
 // LoadFiles loads several files into one module, so composites can
 // reference classes defined elsewhere.
 func LoadFiles(paths ...string) (*Module, error) {
+	return LoadFilesContext(context.Background(), paths...)
+}
+
+// LoadFilesContext is LoadFiles with tracing: each file's parse gets
+// its own "load.module" span under ctx's active span.
+func LoadFilesContext(ctx context.Context, paths ...string) (*Module, error) {
 	merged := &Module{registry: check.Registry{}, cache: pipeline.New()}
 	for _, p := range paths {
-		m, err := LoadFile(p)
+		m, err := loadFileContext(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -251,6 +279,15 @@ func (c *Class) Check(opts ...check.Option) (*Report, error) {
 	return check.Check(c.model, c.module.registry, c.withModuleCache(opts)...)
 }
 
+// CheckContext is Check with a context threaded through for
+// cancellation-free tracing: the verification runs inside a
+// "check.class" span (child of ctx's active span) and every pipeline
+// stage it triggers nests under it. Identical to Check when ctx
+// carries no tracer.
+func (c *Class) CheckContext(ctx context.Context, opts ...check.Option) (*Report, error) {
+	return check.CheckContext(ctx, c.model, c.module.registry, c.withModuleCache(opts)...)
+}
+
 // withModuleCache prepends the module cache option so user-passed
 // options can still override it.
 func (c *Class) withModuleCache(opts []check.Option) []check.Option {
@@ -269,7 +306,7 @@ func (c *Class) Behavior(op string) (string, error) {
 	if o == nil {
 		return "", fmt.Errorf("shelley: class %s has no operation %q", c.Name(), op)
 	}
-	return c.module.cache.Infer(o.Method.Program).String(), nil
+	return c.module.cache.Infer(context.Background(), o.Method.Program).String(), nil
 }
 
 // BehaviorSimplified is Behavior after language-preserving
@@ -279,7 +316,7 @@ func (c *Class) BehaviorSimplified(op string) (string, error) {
 	if o == nil {
 		return "", fmt.Errorf("shelley: class %s has no operation %q", c.Name(), op)
 	}
-	return c.module.cache.InferSimplified(o.Method.Program).String(), nil
+	return c.module.cache.InferSimplified(context.Background(), o.Method.Program).String(), nil
 }
 
 // ProtocolDiagram renders the Fig. 1-style usage diagram as Graphviz
