@@ -1,0 +1,152 @@
+package shelley
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// tightBudget is small enough that every pathological corpus entry
+// trips it in well under a second, keeping the regression suite fast
+// while still exercising the real enforcement paths.
+func tightBudget() Budget {
+	return Budget{
+		MaxNFAStates:   1000,
+		MaxDFAStates:   1000,
+		MaxRegexSize:   1000,
+		MaxSearchNodes: 1000,
+	}
+}
+
+func pathologicalPaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "pathological", "*.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no pathological corpus files found")
+	}
+	return paths
+}
+
+// TestPathologicalCorpusBudgeted is the tentpole regression: every
+// engineered-blowup input must come back as a structured budget or
+// cancellation error, quickly, with the worker goroutine actually
+// released — never an unbounded construction.
+func TestPathologicalCorpusBudgeted(t *testing.T) {
+	for _, p := range pathologicalPaths(t) {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			mod, err := LoadFile(p)
+			if err != nil {
+				t.Fatalf("LoadFile: %v", err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			ctx = WithBudget(ctx, tightBudget())
+			start := time.Now()
+			_, err = mod.CheckAllContext(ctx, 1)
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatalf("check succeeded under tight budget; corpus entry is not pathological enough")
+			}
+			if !errors.Is(err, ErrBudgetExceeded) && !errors.Is(err, ErrCanceled) {
+				t.Fatalf("want structured budget/cancel error, got: %v", err)
+			}
+			if elapsed > 25*time.Second {
+				t.Fatalf("budget error took %v; enforcement is not amortized early enough", elapsed)
+			}
+		})
+	}
+}
+
+// TestPathologicalCorpusDeadline checks the other cutoff: with an
+// unlimited budget but a short deadline, the gates' periodic context
+// polls must abandon the construction near the deadline instead of
+// running the exponential build to completion.
+func TestPathologicalCorpusDeadline(t *testing.T) {
+	mod, err := LoadFile(filepath.Join("testdata", "pathological", "detblow.py"))
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = mod.CheckAllContext(ctx, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("check succeeded; detblow should not finish in 100ms")
+	}
+	if !errors.Is(err, ErrCanceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want cancellation error, got: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline cutoff took %v; context polls are too sparse", elapsed)
+	}
+}
+
+// TestBudgetErrorDoesNotPoisonModule is the cache-poisoning
+// regression at the module level: a budget-exceeded check must not be
+// replayed to an unbudgeted (or bigger-budget) retry on the same
+// resident module, because the budget is part of every cache key.
+func TestBudgetErrorDoesNotPoisonModule(t *testing.T) {
+	mod, err := LoadFile(filepath.Join("testdata", "smarthome.py"))
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	tight := WithBudget(context.Background(), Budget{MaxDFAStates: 2})
+	if _, err := mod.CheckAllContext(tight, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded under MaxDFAStates=2, got: %v", err)
+	}
+	// Same tight budget again: the error must be served deterministically
+	// (cached or recomputed), still as a budget error.
+	if _, err := mod.CheckAllContext(tight, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("second tight check: want ErrBudgetExceeded, got: %v", err)
+	}
+	// A larger budget on the SAME module must succeed: its cache keys
+	// differ, so the cached budget error cannot shadow the real result.
+	reports, err := mod.CheckAllContext(WithBudget(context.Background(), DefaultBudget()), 1)
+	if err != nil {
+		t.Fatalf("default-budget retry failed: %v", err)
+	}
+	for _, r := range reports {
+		if !r.OK() {
+			t.Fatalf("smarthome report not OK after retry: %v", r)
+		}
+	}
+	// And unlimited works too.
+	if _, err := mod.CheckAll(); err != nil {
+		t.Fatalf("unlimited retry failed: %v", err)
+	}
+}
+
+// TestBudgetedCheckReleasesGoroutines is the worker-stop regression:
+// after a blowup check is cut off, the goroutine count must return to
+// baseline — nothing may keep grinding on the abandoned construction.
+func TestBudgetedCheckReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	mod, err := LoadFile(filepath.Join("testdata", "pathological", "detblow.py"))
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	ctx := WithBudget(context.Background(), tightBudget())
+	if _, err := mod.CheckAllContext(ctx, 4); err == nil {
+		t.Fatal("expected budget error")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline: %d now vs %d before",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

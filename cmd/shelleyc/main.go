@@ -34,6 +34,20 @@ func main() {
 	os.Exit(code)
 }
 
+// withBudgetFlags attaches the -max-states / -max-regex resource budget
+// to ctx; both zero leaves the context unlimited (historical behavior).
+func withBudgetFlags(ctx context.Context, maxStates, maxRegex int) context.Context {
+	if maxStates <= 0 && maxRegex <= 0 {
+		return ctx
+	}
+	return shelley.WithBudget(ctx, shelley.Budget{
+		MaxNFAStates:   maxStates,
+		MaxDFAStates:   maxStates,
+		MaxRegexSize:   maxRegex,
+		MaxSearchNodes: maxStates,
+	})
+}
+
 func run(args []string, out io.Writer) (code int, err error) {
 	fs := flag.NewFlagSet("shelleyc", flag.ContinueOnError)
 	className := fs.String("class", "", "verify only this class")
@@ -44,6 +58,8 @@ func run(args []string, out io.Writer) (code int, err error) {
 	violations := fs.Int("violations", 0, "additionally list up to N invalid usages per subsystem")
 	explain := fs.Bool("explain", false, "print a step-by-step explanation for failed claims")
 	stats := fs.Bool("stats", false, "print pipeline cache statistics after verification")
+	maxStates := fs.Int("max-states", 0, "bound automata states and search nodes per construction (0 = unlimited)")
+	maxRegex := fs.Int("max-regex", 0, "bound regex size per construction (0 = unlimited)")
 	var tr obs.CLIFlags
 	tr.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +69,7 @@ func run(args []string, out io.Writer) (code int, err error) {
 		return 2, fmt.Errorf("no input files (usage: shelleyc [-class NAME] FILE.py ...)")
 	}
 	ctx := tr.Context(context.Background())
+	ctx = withBudgetFlags(ctx, *maxStates, *maxRegex)
 	defer func() {
 		if ferr := tr.Flush(); ferr != nil && err == nil {
 			code, err = 2, fmt.Errorf("writing trace: %w", ferr)

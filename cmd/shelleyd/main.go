@@ -77,6 +77,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	traceFormat := fs.String("trace-format", "chrome", "trace file format: chrome or otlp")
 	traceRing := fs.Int("trace-ring", 0, "enable span tracing with a ring of N spans for GET /v1/trace-export (0 with -trace unset = tracing off)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra listener (e.g. 127.0.0.1:6060); empty = off")
+	maxStates := fs.Int("max-states", 0, "per-request bound on automata states and search nodes (0 = production default)")
+	maxRegex := fs.Int("max-regex", 0, "per-request bound on regex size (0 = production default)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -92,6 +94,14 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 		MaxModules:     *maxModules,
 		Tracing:        *traceFile != "" || *traceRing > 0,
 		TraceRingSize:  *traceRing,
+	}
+	if *maxStates > 0 || *maxRegex > 0 {
+		cfg.Limits = shelley.Budget{
+			MaxNFAStates:   *maxStates,
+			MaxDFAStates:   *maxStates,
+			MaxRegexSize:   *maxRegex,
+			MaxSearchNodes: *maxStates,
+		}
 	}
 	if !*quiet {
 		// Structured access log on stderr; the obs handler stamps each
@@ -151,7 +161,14 @@ type corpusSource struct {
 }
 
 func runSelfcheck(out io.Writer, cfg server.Config, corpusDir string, clients, requests int) (int, error) {
-	sources, err := loadCorpus(corpusDir)
+	// The direct-library expectations must be computed under the same
+	// resource budget the server will apply, or pathological sources
+	// would diverge (or never terminate) on the client side.
+	limits := cfg.Limits
+	if limits.Unlimited() {
+		limits = shelley.DefaultBudget()
+	}
+	sources, err := loadCorpus(corpusDir, limits)
 	if err != nil {
 		return 2, err
 	}
@@ -261,12 +278,13 @@ func verifyCheck(src corpusSource, resp *client.CheckResponse, err error) error 
 	return nil
 }
 
-func loadCorpus(dir string) ([]corpusSource, error) {
+func loadCorpus(dir string, limits shelley.Budget) ([]corpusSource, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.py"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(paths)
+	ctx := shelley.WithBudget(context.Background(), limits)
 	var out []corpusSource
 	for _, p := range paths {
 		b, err := os.ReadFile(p)
@@ -281,7 +299,7 @@ func loadCorpus(dir string) ([]corpusSource, error) {
 		if classes := mod.Classes(); len(classes) > 0 {
 			src.class = classes[0].Name()
 		}
-		reports, err := mod.CheckAll()
+		reports, err := mod.CheckAllContext(ctx, 1)
 		if err != nil {
 			src.wantErr = true
 		} else {

@@ -126,7 +126,7 @@ func (m *Module) peekAllReports(ctx context.Context) ([]*Report, bool) {
 	opts := []check.Option{check.WithCache(m.cache)}
 	reports := make([]*Report, len(m.classes))
 	for i, c := range m.classes {
-		r, ok := check.PeekReport(c.model, m.registry, opts...)
+		r, ok := check.PeekReport(ctx, c.model, m.registry, opts...)
 		if !ok {
 			return nil, false
 		}

@@ -1,6 +1,9 @@
 package automata
 
 import (
+	"context"
+
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/regex"
 )
 
@@ -166,12 +169,29 @@ func (g *glushkov) analyze(r regex.Regex) glushkovInfo {
 // distinct Brzozowski derivatives of r (finitely many thanks to the
 // normal form maintained by the regex package), the start state is r
 // itself, and a state accepts iff its expression is nullable.
+// Unbounded: the derivative state space can be exponential in |r|, so
+// callers handling untrusted input should use FromRegexDerivativesCtx
+// with a budget instead.
 func FromRegexDerivatives(r regex.Regex) *DFA {
+	d, _ := FromRegexDerivativesCtx(context.Background(), r)
+	return d
+}
+
+// FromRegexDerivativesCtx is FromRegexDerivatives bounded by the
+// context's resource budget: MaxDFAStates caps the derivative state
+// count, MaxRegexSize caps the size of any single derivative
+// expression, and cancellation is observed as states are added.
+func FromRegexDerivativesCtx(ctx context.Context, r regex.Regex) (*DFA, error) {
+	gate := budget.DFAGate(ctx, "derivatives")
+	maxSize := budget.From(ctx).MaxRegexSize
 	alphabet := regex.Alphabet(r)
 	d := NewDFA(alphabet)
 
 	ids := map[string]int{regex.Key(r): d.Start()}
 	d.SetAccepting(d.Start(), regex.Nullable(r))
+	if err := gate.Tick(); err != nil {
+		return nil, err
+	}
 
 	type work struct {
 		id int
@@ -186,9 +206,15 @@ func FromRegexDerivatives(r regex.Regex) *DFA {
 			if regex.IsEmptyLanguage(der) {
 				continue
 			}
+			if !regex.SizeWithin(der, maxSize) {
+				return nil, budget.Exceeded(ctx, "derivatives", "regex-size", maxSize)
+			}
 			k := regex.Key(der)
 			id, ok := ids[k]
 			if !ok {
+				if err := gate.Tick(); err != nil {
+					return nil, err
+				}
 				id = d.AddState(regex.Nullable(der))
 				ids[k] = id
 				queue = append(queue, work{id: id, r: der})
@@ -196,11 +222,22 @@ func FromRegexDerivatives(r regex.Regex) *DFA {
 			_ = d.AddTransition(cur.id, sym, id)
 		}
 	}
-	return d
+	return d, nil
 }
 
 // CompileMinimal is the construction the rest of the pipeline uses by
 // default: derivative DFA followed by Hopcroft minimization.
 func CompileMinimal(r regex.Regex) *DFA {
 	return FromRegexDerivatives(r).Minimize()
+}
+
+// CompileMinimalCtx is CompileMinimal under the context's budget and
+// cancellation; it is what the memoizing pipeline calls, so every
+// behavior-regex compilation in a served request is bounded.
+func CompileMinimalCtx(ctx context.Context, r regex.Regex) (*DFA, error) {
+	d, err := FromRegexDerivativesCtx(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return d.MinimizeCtx(ctx)
 }

@@ -1,6 +1,11 @@
 package automata
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/budget"
+)
 
 // Minimize returns the minimal DFA for the language of d, using
 // Hopcroft's partition-refinement algorithm on the completed automaton,
@@ -9,10 +14,20 @@ import "sort"
 // canonical: two equivalent DFAs minimize to identical automata up to
 // this numbering.
 func (d *DFA) Minimize() *DFA {
+	m, _ := d.MinimizeCtx(context.Background())
+	return m
+}
+
+// MinimizeCtx is Minimize with cancellation observed between
+// refinement passes. Minimization is polynomial in an input whose size
+// the construction budgets already bound, so no state budget applies
+// here; the gate only makes an expired deadline stop the worklist.
+func (d *DFA) MinimizeCtx(ctx context.Context) (*DFA, error) {
+	gate := budget.NewGate(ctx, "minimize", "", 0)
 	t := d.Complete()
 	n := t.NumStates()
 	if n == 0 {
-		return d.Clone()
+		return d.Clone(), nil
 	}
 
 	// Inverse transition table: for each symbol, for each state, the
@@ -66,6 +81,9 @@ func (d *DFA) Minimize() *DFA {
 	}
 
 	for len(work) > 0 {
+		if err := gate.Tick(); err != nil {
+			return nil, err
+		}
 		sp := work[len(work)-1]
 		work = work[:len(work)-1]
 
@@ -147,7 +165,7 @@ func (d *DFA) Minimize() *DFA {
 			out.setTransition(blockState[b], si, blockState[tb])
 		}
 	}
-	return trimDead(out)
+	return trimDead(out), nil
 }
 
 // trimDead removes states from which no accepting state is reachable,

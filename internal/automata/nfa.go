@@ -19,8 +19,11 @@
 package automata
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"github.com/shelley-go/shelley/internal/budget"
 )
 
 // NFA is a nondeterministic finite automaton with ε-transitions and a
@@ -163,8 +166,21 @@ func (n *NFA) Accepts(trace []string) bool {
 
 // Determinize performs the subset construction, producing a DFA that
 // accepts the same language. The result has no unreachable states; it is
-// not necessarily minimal.
+// not necessarily minimal. Unbounded: subset construction is worst-case
+// exponential, so callers handling untrusted input should use
+// DeterminizeCtx with a budget instead.
 func (n *NFA) Determinize() *DFA {
+	d, _ := n.DeterminizeCtx(context.Background())
+	return d
+}
+
+// DeterminizeCtx is Determinize bounded by the context's resource
+// budget: it stops with a structured budget.Err once the subset
+// automaton passes MaxDFAStates, and with a budget.CancelErr when ctx
+// is canceled (deadline, client disconnect), so a request that times
+// out actually releases its worker instead of finishing the blowup.
+func (n *NFA) DeterminizeCtx(ctx context.Context) (*DFA, error) {
+	gate := budget.DFAGate(ctx, "determinize")
 	d := NewDFA(n.alphabet)
 
 	startSet := n.EpsilonClosure([]int{n.start})
@@ -192,6 +208,9 @@ func (n *NFA) Determinize() *DFA {
 	d.SetAccepting(d.Start(), isAccepting(startSet))
 	ids[key(startSet)] = d.Start()
 	queue := []work{{id: d.Start(), set: startSet}}
+	if err := gate.Tick(); err != nil {
+		return nil, err
+	}
 
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -214,6 +233,9 @@ func (n *NFA) Determinize() *DFA {
 			k := key(closed)
 			id, ok := ids[k]
 			if !ok {
+				if err := gate.Tick(); err != nil {
+					return nil, err
+				}
 				id = d.AddState(isAccepting(closed))
 				ids[k] = id
 				queue = append(queue, work{id: id, set: closed})
@@ -221,7 +243,7 @@ func (n *NFA) Determinize() *DFA {
 			d.setTransition(cur.id, si, id)
 		}
 	}
-	return d
+	return d, nil
 }
 
 func insertSorted(xs []int, v int) []int {

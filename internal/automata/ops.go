@@ -1,6 +1,11 @@
 package automata
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"github.com/shelley-go/shelley/internal/budget"
+)
 
 // Boolean combinations of DFA languages via the product construction,
 // plus language comparisons with distinguishing witnesses. Products are
@@ -12,8 +17,20 @@ import "sort"
 type BoolOp func(a, b bool) bool
 
 // Product returns a DFA over the union alphabet accepting exactly the
-// traces t with op(a accepts t, b accepts t).
+// traces t with op(a accepts t, b accepts t). Unbounded; use ProductCtx
+// on untrusted input.
 func Product(a, b *DFA, op BoolOp) *DFA {
+	d, _ := ProductCtx(context.Background(), a, b, op)
+	return d
+}
+
+// ProductCtx is Product bounded by the context's resource budget
+// (MaxDFAStates on the product's state count) and its cancellation:
+// product state spaces are multiplicative, so two modest operands can
+// make an enormous product, and the gate stops the construction at the
+// budget instead of after it.
+func ProductCtx(ctx context.Context, a, b *DFA, op BoolOp) (*DFA, error) {
+	gate := budget.DFAGate(ctx, "product")
 	alphabet := unionAlphabet(a, b)
 	// Complete both over the union alphabet so that every pair is total.
 	ta := a.extendAlphabet(alphabet).Complete()
@@ -24,6 +41,9 @@ func Product(a, b *DFA, op BoolOp) *DFA {
 	ids := map[pair]int{{ta.start, tb.start}: out.Start()}
 	out.SetAccepting(out.Start(), op(ta.accept[ta.start], tb.accept[tb.start]))
 	queue := []pair{{ta.start, tb.start}}
+	if err := gate.Tick(); err != nil {
+		return nil, err
+	}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -32,6 +52,9 @@ func Product(a, b *DFA, op BoolOp) *DFA {
 			np := pair{ta.trans[cur.a][si], tb.trans[cur.b][si]}
 			id, ok := ids[np]
 			if !ok {
+				if err := gate.Tick(); err != nil {
+					return nil, err
+				}
 				id = out.AddState(op(ta.accept[np.a], tb.accept[np.b]))
 				ids[np] = id
 				queue = append(queue, np)
@@ -39,12 +62,17 @@ func Product(a, b *DFA, op BoolOp) *DFA {
 			out.setTransition(from, si, id)
 		}
 	}
-	return trimDead(out)
+	return trimDead(out), nil
 }
 
 // Intersect returns a DFA for L(a) ∩ L(b).
 func Intersect(a, b *DFA) *DFA {
 	return Product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// IntersectCtx is Intersect under the context's budget.
+func IntersectCtx(ctx context.Context, a, b *DFA) (*DFA, error) {
+	return ProductCtx(ctx, a, b, func(x, y bool) bool { return x && y })
 }
 
 // UnionDFA returns a DFA for L(a) ∪ L(b).

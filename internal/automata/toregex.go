@@ -1,6 +1,11 @@
 package automata
 
-import "github.com/shelley-go/shelley/internal/regex"
+import (
+	"context"
+
+	"github.com/shelley-go/shelley/internal/budget"
+	"github.com/shelley-go/shelley/internal/regex"
+)
 
 // ToRegex converts the DFA into a regular expression denoting the same
 // language, by state elimination on a generalized NFA (GNFA). Together
@@ -10,7 +15,24 @@ import "github.com/shelley-go/shelley/internal/regex"
 // Elimination proceeds in increasing state order, which keeps the output
 // deterministic. Edge expressions are built with the normalizing
 // constructors, so trivial sublanguages collapse as they appear.
+//
+// Unbounded: state elimination can square edge-expression sizes per
+// eliminated state, so callers handling untrusted input should use
+// ToRegexCtx with a budget instead.
 func (d *DFA) ToRegex() regex.Regex {
+	r, _ := d.ToRegexCtx(context.Background())
+	return r
+}
+
+// ToRegexCtx is ToRegex bounded by the context's resource budget: it
+// stops with a structured budget.Err as soon as any intermediate edge
+// expression grows past MaxRegexSize (checked with regex.SizeWithin, so
+// the check itself never walks more than the budget), and observes
+// cancellation once per eliminated state.
+func (d *DFA) ToRegexCtx(ctx context.Context) (regex.Regex, error) {
+	gate := budget.NewGate(ctx, "to-regex", "regex-size", 0)
+	maxSize := budget.From(ctx).MaxRegexSize
+
 	n := d.NumStates()
 	// GNFA states: 0..n-1 original, n = super-start, n+1 = super-accept.
 	superStart, superAccept := n, n+1
@@ -46,15 +68,21 @@ func (d *DFA) ToRegex() regex.Regex {
 			if !alive[i] || i == k || regex.IsEmptyLanguage(edge[i][k]) {
 				continue
 			}
+			if err := gate.Tick(); err != nil {
+				return nil, err
+			}
 			for j := 0; j < total; j++ {
 				if !alive[j] || j == k || regex.IsEmptyLanguage(edge[k][j]) {
 					continue
 				}
 				detour := regex.Concat(edge[i][k], loop, edge[k][j])
 				edge[i][j] = regex.Union(edge[i][j], detour)
+				if !regex.SizeWithin(edge[i][j], maxSize) {
+					return nil, budget.Exceeded(ctx, "to-regex", "regex-size", maxSize)
+				}
 			}
 		}
 		alive[k] = false
 	}
-	return edge[superStart][superAccept]
+	return edge[superStart][superAccept], nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/ir"
 	"github.com/shelley-go/shelley/internal/model"
 	"github.com/shelley-go/shelley/internal/pipeline"
@@ -24,16 +25,22 @@ func WithCache(cache *pipeline.Cache) Option {
 
 // classKey builds the content-addressed key covering everything the
 // analysis of c reads: the class's own fingerprint, the analysis mode,
-// and the fingerprint of every resolved subsystem class (checkUsage and
-// checkClaims depend on the subsystems' protocols, but nothing deeper —
-// a subsystem's own subsystems never enter the analysis of c). ok is
-// false when a subsystem cannot be resolved; the analysis then errors
-// on the uncached path.
+// the context's resource budget (a budget-exceeded report is cached
+// deterministically for its budget; a retry with a larger budget is a
+// different key and can succeed), and the fingerprint of every resolved
+// subsystem class (checkUsage and checkClaims depend on the subsystems'
+// protocols, but nothing deeper — a subsystem's own subsystems never
+// enter the analysis of c). ok is false when a subsystem cannot be
+// resolved; the analysis then errors on the uncached path.
 func classKey(cfg config, c *model.Class, reg Registry) (string, bool) {
 	var b strings.Builder
 	b.WriteString(c.Fingerprint())
 	if cfg.precise {
 		b.WriteString("|precise")
+	}
+	if bk := budget.From(cfg.ctx).Key(); bk != "" {
+		b.WriteString("|")
+		b.WriteString(bk)
 	}
 	for _, name := range c.SubsystemNames {
 		sub, err := reg.resolve(c, name)
@@ -56,8 +63,9 @@ func classKey(cfg config, c *model.Class, reg Registry) (string, bool) {
 // Module.CheckAllContext can peek every class and report one
 // aggregated cache.hit.report count on the caller's span instead of
 // one map operation per class (EXPERIMENTS.md P3).
-func PeekReport(c *model.Class, reg Registry, opts ...Option) (*Report, bool) {
+func PeekReport(ctx context.Context, c *model.Class, reg Registry, opts ...Option) (*Report, bool) {
 	cfg := buildConfig(opts)
+	cfg.ctx = ctx // the budget carried by ctx is part of the report key
 	if cfg.cache == nil {
 		return nil, false
 	}
@@ -85,14 +93,15 @@ func (cfg config) specDFA(c *model.Class, prefix string) (*automata.DFA, error) 
 }
 
 // behaviorDFA compiles the minimal DFA of the simplified behavior of a
-// method body, memoized per stage (inference, then compilation).
-func (cfg config) behaviorDFA(p ir.Program) *automata.DFA {
+// method body, memoized per stage (inference, then compilation), under
+// cfg.ctx's resource budget.
+func (cfg config) behaviorDFA(p ir.Program) (*automata.DFA, error) {
 	return cfg.cache.BehaviorDFA(cfg.ctx, p)
 }
 
 // minimalDFA compiles one regular expression, memoized by its
-// canonical key.
-func (cfg config) minimalDFA(r regex.Regex) *automata.DFA {
+// canonical key, under cfg.ctx's resource budget.
+func (cfg config) minimalDFA(r regex.Regex) (*automata.DFA, error) {
 	return cfg.cache.MinimalDFA(cfg.ctx, r)
 }
 
@@ -119,7 +128,11 @@ func flattened(cfg config, c *model.Class, reg Registry, alphabet []string) (*fl
 		if err != nil {
 			return flatPair{}, err
 		}
-		return flatPair{flat: flat, dfa: flat.toDFA()}, nil
+		dfa, err := flat.toDFA(cfg.ctx)
+		if err != nil {
+			return flatPair{}, err
+		}
+		return flatPair{flat: flat, dfa: dfa}, nil
 	}
 	if cfg.cache != nil {
 		if key, ok := classKey(cfg, c, reg); ok {

@@ -190,10 +190,15 @@ func Check(c *model.Class, reg Registry, opts ...Option) (*Report, error) {
 // carries no tracer the behavior and output are identical to Check.
 func CheckContext(ctx context.Context, c *model.Class, reg Registry, opts ...Option) (_ *Report, err error) {
 	cfg := buildConfig(opts)
+	// ctx must be installed before classKey runs: the key covers the
+	// context's resource budget (budget.From), so a report computed
+	// under one budget is never served to a request with another.
+	cfg.ctx = ctx
 	// Whole-report memoization: the report is a pure function of the
-	// class content, the analysis mode, and the subsystems' content, all
-	// of which classKey captures. A warm Check is a cache lookup plus a
-	// deep copy, probed before any span is opened.
+	// class content, the analysis mode, the resource budget, and the
+	// subsystems' content, all of which classKey captures. A warm Check
+	// is a cache lookup plus a deep copy, probed before any span is
+	// opened.
 	key, memoized := "", false
 	if cfg.cache != nil {
 		if k, ok := classKey(cfg, c, reg); ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/ltlf"
 	"github.com/shelley-go/shelley/internal/model"
 )
@@ -67,8 +68,14 @@ func checkClaims(cfg config, c *model.Class, reg Registry, report *Report) error
 				})
 			}
 		}
-		violations := cfg.cache.ClaimNegation(cfg.ctx, formula, claim.Formula, alphabet)
-		// Shortest complete trace that violates the claim.
+		violations, err := cfg.cache.ClaimNegation(cfg.ctx, formula, claim.Formula, alphabet)
+		if err != nil {
+			return err
+		}
+		// Shortest complete trace that violates the claim. The product
+		// BFS runs under cfg.ctx's MaxSearchNodes budget and observes
+		// cancellation.
+		gate := budget.SearchGate(cfg.ctx, "claim-search")
 		type pair struct{ f, v int }
 		type node struct {
 			at    pair
@@ -82,6 +89,9 @@ func checkClaims(cfg config, c *model.Class, reg Registry, report *Report) error
 		for len(frontier) > 0 && !found {
 			var next []node
 			for _, n := range frontier {
+				if err := gate.Tick(); err != nil {
+					return err
+				}
 				if flatDFA.Accepting(n.at.f) && n.at.v >= 0 && violations.Accepting(n.at.v) {
 					witness = n.trace
 					found = true

@@ -51,5 +51,9 @@ func FlattenedDFA(c *model.Class, reg Registry, opts ...Option) (*automata.DFA, 
 	if err != nil {
 		return nil, err
 	}
-	return flat.toDFA().Minimize(), nil
+	dfa, err := flat.toDFA(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return dfa.Minimize(), nil
 }

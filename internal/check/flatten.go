@@ -1,10 +1,12 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/model"
 )
 
@@ -35,8 +37,17 @@ func flatten(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, err
 		return nil, err
 	}
 
+	// The substitution allocates |protocol transitions| copies of the
+	// operations' behavior automata; each factor is individually bounded
+	// by construction budgets, but their product is not, so the flat
+	// state count gets its own gate.
+	gate := budget.NFAGate(cfg.ctx, "flatten")
+	var gateErr error
 	f := &flatAutomaton{alphabet: alphabet}
 	addState := func(accepting bool) int {
+		if gateErr == nil {
+			gateErr = gate.Tick()
+		}
 		f.edges = append(f.edges, nil)
 		f.accept = append(f.accept, accepting)
 		return len(f.edges) - 1
@@ -52,12 +63,19 @@ func flatten(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, err
 	// Behavior DFA per operation, built (or cache-retrieved) once.
 	behavior := make(map[string]*automata.DFA, len(c.Operations))
 	for _, op := range c.Operations {
-		behavior[op.Name] = cfg.behaviorDFA(op.Method.Program)
+		b, err := cfg.behaviorDFA(op.Method.Program)
+		if err != nil {
+			return nil, err
+		}
+		behavior[op.Name] = b
 	}
 
 	// Substitute each protocol transition p --m--> q with a copy of
 	// behavior(m) bracketed by ε-edges.
 	for p := 0; p < protocol.NumStates(); p++ {
+		if gateErr != nil {
+			return nil, gateErr
+		}
 		for _, op := range c.Operations {
 			q := protocol.Target(p, op.Name)
 			if q < 0 {
@@ -94,11 +112,15 @@ func flatten(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, err
 			}
 		}
 	}
+	if gateErr != nil {
+		return nil, gateErr
+	}
 	return f, nil
 }
 
-// toDFA erases the operation boundaries and determinizes.
-func (f *flatAutomaton) toDFA() *automata.DFA {
+// toDFA erases the operation boundaries and determinizes under ctx's
+// resource budget (the subset construction is the exponential step).
+func (f *flatAutomaton) toDFA(ctx context.Context) (*automata.DFA, error) {
 	n := automata.NewNFA(f.alphabet)
 	// NFA state 0 already exists (its start); add the rest.
 	nodes := make([]int, len(f.edges))
@@ -129,7 +151,7 @@ func (f *flatAutomaton) toDFA() *automata.DFA {
 	// state, which is f.start only when the protocol start is state 0 —
 	// ensure correctness for any numbering).
 	n.SetStart(nodes[f.start])
-	return n.Determinize()
+	return n.DeterminizeCtx(ctx)
 }
 
 // pathEvent is one element of an annotated counterexample path: entering

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/model"
 	"github.com/shelley-go/shelley/internal/pipeline"
@@ -57,8 +58,15 @@ func buildConfig(opts []Option) config {
 // contribute a pseudo-exit with the ongoing behavior and no
 // continuations.
 func flattenExitAware(cfg config, c *model.Class, alphabet []string) (*flatAutomaton, error) {
+	// Like flatten, the per-exit substitution multiplies protocol edges
+	// by behavior copies, so the flat state count is gated.
+	gate := budget.NFAGate(cfg.ctx, "flatten")
+	var gateErr error
 	f := &flatAutomaton{alphabet: alphabet}
 	addState := func(accepting bool) int {
+		if gateErr == nil {
+			gateErr = gate.Tick()
+		}
 		f.edges = append(f.edges, nil)
 		f.accept = append(f.accept, accepting)
 		return len(f.edges) - 1
@@ -82,19 +90,27 @@ func flattenExitAware(cfg config, c *model.Class, alphabet []string) (*flatAutom
 			if !ok {
 				continue // unreachable return (e.g. dead code after return)
 			}
+			b, err := cfg.minimalDFA(regex.Simplify(expr))
+			if err != nil {
+				return nil, err
+			}
 			infos = append(infos, exitInfo{
 				state:    addState(op.Final),
 				next:     e.Next,
-				behavior: cfg.minimalDFA(regex.Simplify(expr)),
+				behavior: b,
 			})
 		}
 		if !regex.IsEmptyLanguage(regex.Simplify(fine.Ongoing)) {
 			// Implicit exit: the body can complete without a return; no
 			// operation may follow (Python returns None here, which
 			// declares nothing).
+			b, err := cfg.minimalDFA(regex.Simplify(fine.Ongoing))
+			if err != nil {
+				return nil, err
+			}
 			infos = append(infos, exitInfo{
 				state:    addState(op.Final),
-				behavior: cfg.minimalDFA(regex.Simplify(fine.Ongoing)),
+				behavior: b,
 			})
 		}
 		exitsOf[op.Name] = infos
@@ -103,6 +119,9 @@ func flattenExitAware(cfg config, c *model.Class, alphabet []string) (*flatAutom
 	// connect wires source state s to every exit of operation n through
 	// a fresh copy of that exit's behavior automaton.
 	connect := func(s int, opName string) {
+		if gateErr != nil {
+			return
+		}
 		for _, info := range exitsOf[opName] {
 			b := info.behavior
 			copyNode := make([]int, b.NumStates())
@@ -145,6 +164,9 @@ func flattenExitAware(cfg config, c *model.Class, alphabet []string) (*flatAutom
 				connect(info.state, n)
 			}
 		}
+	}
+	if gateErr != nil {
+		return nil, gateErr
 	}
 	return f, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/model"
 )
 
@@ -50,7 +51,10 @@ func checkUsage(cfg config, c *model.Class, reg Registry, subs map[string]*model
 	var best []string
 	found := false
 	for _, name := range c.SubsystemNames {
-		w, ok := shortestBadUsage(flatDFA, specs[name], specAlphabet[name])
+		w, ok, err := shortestBadUsage(cfg, flatDFA, specs[name], specAlphabet[name])
+		if err != nil {
+			return err
+		}
 		if !ok {
 			continue
 		}
@@ -100,8 +104,10 @@ func checkUsage(cfg config, c *model.Class, reg Registry, subs map[string]*model
 // and one subsystem's specification for the shortest complete usage
 // whose projection the spec rejects. The spec only steps on its own
 // symbols; other symbols leave it in place. Spec state -2 means the
-// projection already died.
-func shortestBadUsage(flat, spec *automata.DFA, specSyms map[string]struct{}) ([]string, bool) {
+// projection already died. The product BFS runs under cfg.ctx's
+// MaxSearchNodes budget and observes cancellation.
+func shortestBadUsage(cfg config, flat, spec *automata.DFA, specSyms map[string]struct{}) ([]string, bool, error) {
+	gate := budget.SearchGate(cfg.ctx, "usage-search")
 	type pair struct{ f, s int }
 	type node struct {
 		at    pair
@@ -113,8 +119,11 @@ func shortestBadUsage(flat, spec *automata.DFA, specSyms map[string]struct{}) ([
 	for len(frontier) > 0 {
 		var next []node
 		for _, n := range frontier {
+			if err := gate.Tick(); err != nil {
+				return nil, false, err
+			}
 			if flat.Accepting(n.at.f) && (n.at.s < 0 || !spec.Accepting(n.at.s)) {
-				return n.trace, true
+				return n.trace, true, nil
 			}
 			for _, sym := range flat.Alphabet() {
 				ft := flat.Target(n.at.f, sym)
@@ -143,7 +152,7 @@ func shortestBadUsage(flat, spec *automata.DFA, specSyms map[string]struct{}) ([
 		}
 		frontier = next
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // subsystemErrorLine renders one "  * Valve 'a': test, >open< (not

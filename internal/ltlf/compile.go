@@ -1,10 +1,12 @@
 package ltlf
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 )
 
 // This file compiles an LTLf formula into a DFA over a given event
@@ -230,14 +232,29 @@ func progress(f Formula, sigma string) Formula {
 // subformulas, all drawn from the finite closure of the original
 // formula, so the set of canonical states is finite.
 func canonical(f Formula) string {
-	clauses := dnf(f)
+	key, _ := canonicalBounded(f, 0)
+	return key
+}
+
+// canonicalBounded is canonical with a cap on the number of DNF clauses
+// any intermediate flattening may produce (0 = unlimited). Flattening a
+// conjunction of k disjunctions multiplies clause counts, so a hostile
+// claim formula can make a single canonicalization exponential even
+// though the final state space would be small; the cap turns that into
+// a reported budget trip. The second result is false when the cap was
+// hit (the returned key is then meaningless).
+func canonicalBounded(f Formula, maxClauses int) (string, bool) {
+	clauses, ok := dnfBounded(f, maxClauses)
+	if !ok {
+		return "", false
+	}
 	if len(clauses) == 0 {
-		return "<false>"
+		return "<false>", true
 	}
 	keys := make([]string, 0, len(clauses))
 	for _, c := range clauses {
 		if len(c) == 0 {
-			return "<true>" // a true clause absorbs the whole DNF
+			return "<true>", true // a true clause absorbs the whole DNF
 		}
 		lits := make([]string, 0, len(c))
 		for k := range c {
@@ -247,41 +264,64 @@ func canonical(f Formula) string {
 		keys = append(keys, strings.Join(lits, "&"))
 	}
 	sort.Strings(keys)
-	return strings.Join(keys, " | ")
+	return strings.Join(keys, " | "), true
 }
 
 // dnf flattens the formula into a set of clauses; each clause maps
 // literal keys to literal formulas. An empty clause list means false; a
 // single empty clause means true.
 func dnf(f Formula) []map[string]Formula {
+	clauses, _ := dnfBounded(f, 0)
+	return clauses
+}
+
+// dnfBounded is dnf with a clause cap (0 = unlimited): it bails out
+// with ok=false as soon as any intermediate clause set grows past
+// maxClauses, BEFORE subsumption pruning, so the exponential
+// cross-product of a wide And-of-Ors is cut off at the cap rather than
+// materialized and then pruned.
+func dnfBounded(f Formula, maxClauses int) (clauses []map[string]Formula, ok bool) {
 	switch f := f.(type) {
 	case Fls:
-		return nil
+		return nil, true
 	case Tru:
-		return []map[string]Formula{{}}
+		return []map[string]Formula{{}}, true
 	case And:
 		out := []map[string]Formula{{}}
 		for _, x := range f.Xs {
-			xs := dnf(x)
+			xs, ok := dnfBounded(x, maxClauses)
+			if !ok {
+				return nil, false
+			}
 			var merged []map[string]Formula
 			for _, a := range out {
 				for _, b := range xs {
 					if m, ok := mergeClause(a, b); ok {
 						merged = append(merged, m)
+						if maxClauses > 0 && len(merged) > maxClauses {
+							return nil, false
+						}
 					}
 				}
 			}
 			out = merged
 		}
-		return pruneSubsumed(out)
+		return pruneSubsumed(out), true
 	case Or:
 		var out []map[string]Formula
 		for _, x := range f.Xs {
-			out = append(out, dnf(x)...)
+			xs, ok := dnfBounded(x, maxClauses)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, xs...)
+			if maxClauses > 0 && len(out) > maxClauses {
+				return nil, false
+			}
 		}
-		return pruneSubsumed(out)
+		return pruneSubsumed(out), true
 	default:
-		return []map[string]Formula{{f.key(): f}}
+		return []map[string]Formula{{f.key(): f}}, true
 	}
 }
 
@@ -340,27 +380,53 @@ func clauseSubset(a, b map[string]Formula) bool {
 // can never hold; they are retained (they progress to false on every
 // event).
 func Compile(f Formula, alphabet []string) *automata.DFA {
+	d, _ := CompileCtx(context.Background(), f, alphabet)
+	return d
+}
+
+// CompileCtx is Compile bounded by the context's resource budget:
+// MaxDFAStates caps the progression state count, MaxRegexSize caps the
+// DNF clause count of any single canonicalization (the two blowup axes
+// of formula progression), and cancellation is observed as states are
+// added. The final minimization runs under the same context.
+func CompileCtx(ctx context.Context, f Formula, alphabet []string) (*automata.DFA, error) {
+	gate := budget.DFAGate(ctx, "ltlf-compile")
+	maxClauses := budget.From(ctx).MaxRegexSize
+
 	start := ToNNF(f)
 	d := automata.NewDFA(alphabet)
 	d.SetAccepting(d.Start(), nullable(start))
+	if err := gate.Tick(); err != nil {
+		return nil, err
+	}
 
 	type state struct {
 		id int
 		f  Formula
 	}
-	ids := map[string]int{canonical(start): d.Start()}
+	startKey, ok := canonicalBounded(start, maxClauses)
+	if !ok {
+		return nil, budget.Exceeded(ctx, "ltlf-compile", "dnf-clauses", maxClauses)
+	}
+	ids := map[string]int{startKey: d.Start()}
 	queue := []state{{id: d.Start(), f: start}}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		for _, sigma := range d.Alphabet() {
 			next := progress(cur.f, sigma)
-			key := canonical(next)
+			key, ok := canonicalBounded(next, maxClauses)
+			if !ok {
+				return nil, budget.Exceeded(ctx, "ltlf-compile", "dnf-clauses", maxClauses)
+			}
 			if key == "<false>" {
 				continue
 			}
 			id, ok := ids[key]
 			if !ok {
+				if err := gate.Tick(); err != nil {
+					return nil, err
+				}
 				id = d.AddState(nullable(next))
 				ids[key] = id
 				queue = append(queue, state{id: id, f: next})
@@ -368,7 +434,7 @@ func Compile(f Formula, alphabet []string) *automata.DFA {
 			_ = d.AddTransition(cur.id, sigma, id)
 		}
 	}
-	return d.Minimize()
+	return d.MinimizeCtx(ctx)
 }
 
 // CompileNegation builds a DFA accepting exactly the traces that VIOLATE
@@ -376,4 +442,12 @@ func Compile(f Formula, alphabet []string) *automata.DFA {
 // counterexample witnesses.
 func CompileNegation(f Formula, alphabet []string) *automata.DFA {
 	return Compile(NotOf(f), alphabet)
+}
+
+// CompileNegationCtx is CompileNegation under the context's budget and
+// cancellation; it is what the memoizing pipeline calls for claim
+// checking, so every hostile claim formula in a served request is
+// bounded.
+func CompileNegationCtx(ctx context.Context, f Formula, alphabet []string) (*automata.DFA, error) {
+	return CompileCtx(ctx, NotOf(f), alphabet)
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/ir"
 	"github.com/shelley-go/shelley/internal/ltlf"
@@ -196,9 +197,16 @@ func (c *Cache) DoCtx(ctx context.Context, stage Stage, key string, build func(c
 	defer func() {
 		if r := recover(); r != nil {
 			// Never strand waiters on a panicking build: publish an
-			// error, release them, and re-panic.
+			// error, release them, and re-panic. The entry is also
+			// removed from the shard, because a panic — unlike a build
+			// error — is not known to be deterministic: caching it would
+			// poison the key forever, while deleting it lets the next
+			// caller retry from scratch.
 			e.err = fmt.Errorf("pipeline: %s build for key %q panicked: %v", stage, key, r)
 			close(e.ready)
+			sh.mu.Lock()
+			delete(sh.entries, k)
+			sh.mu.Unlock()
 			span.End()
 			panic(r)
 		}
@@ -300,31 +308,45 @@ func (c *Cache) InferSimplified(ctx context.Context, p ir.Program) regex.Regex {
 	return r
 }
 
+// budgetKey prefixes key with the canonical encoding of ctx's resource
+// limits, so a result (or deterministic budget error) computed under
+// one budget is never served to a request with another: a retry with a
+// larger budget hashes to a fresh key and can succeed. Unlimited
+// contexts leave the key unchanged, so pre-budget entries keep hitting.
+func budgetKey(ctx context.Context, key string) string {
+	if bk := budget.From(ctx).Key(); bk != "" {
+		return bk + "\x01" + key
+	}
+	return key
+}
+
 // MinimalDFA compiles r to its minimal DFA, memoized under StageDFA by
-// the canonical regex key. Cached automata are shared read-only; all
-// DFA algorithms in internal/automata are non-mutating, and public API
-// boundaries clone before handing automata to callers.
-func (c *Cache) MinimalDFA(ctx context.Context, r regex.Regex) *automata.DFA {
-	d, _ := MemoCtx(ctx, c, StageDFA, regex.Key(r), func(context.Context) (*automata.DFA, error) {
-		return automata.CompileMinimal(r), nil
+// the canonical regex key (prefixed with ctx's budget key). The build
+// runs under ctx's resource budget; a budget trip is returned as a
+// structured error and cached like any other deterministic result.
+// Cached automata are shared read-only; all DFA algorithms in
+// internal/automata are non-mutating, and public API boundaries clone
+// before handing automata to callers.
+func (c *Cache) MinimalDFA(ctx context.Context, r regex.Regex) (*automata.DFA, error) {
+	return MemoCtx(ctx, c, StageDFA, budgetKey(ctx, regex.Key(r)), func(ctx context.Context) (*automata.DFA, error) {
+		return automata.CompileMinimalCtx(ctx, r)
 	})
-	return d
 }
 
 // BehaviorDFA is the fused hot path of flattening: the minimal DFA of
 // the simplified behavior of one method body, with both intermediate
 // stages memoized.
-func (c *Cache) BehaviorDFA(ctx context.Context, p ir.Program) *automata.DFA {
+func (c *Cache) BehaviorDFA(ctx context.Context, p ir.Program) (*automata.DFA, error) {
 	return c.MinimalDFA(ctx, c.InferSimplified(ctx, p))
 }
 
 // ClaimNegation compiles the violation automaton of an LTLf claim,
 // memoized under StageClaim. formulaText must be the source text of f
-// (it is the key; two formulas with equal text are equal).
-func (c *Cache) ClaimNegation(ctx context.Context, f ltlf.Formula, formulaText string, alphabet []string) *automata.DFA {
-	key := formulaText + "\x00" + strings.Join(alphabet, "\x00")
-	d, _ := MemoCtx(ctx, c, StageClaim, key, func(context.Context) (*automata.DFA, error) {
-		return ltlf.CompileNegation(f, alphabet), nil
+// (it is the key, prefixed with ctx's budget key; two formulas with
+// equal text are equal). The compilation runs under ctx's budget.
+func (c *Cache) ClaimNegation(ctx context.Context, f ltlf.Formula, formulaText string, alphabet []string) (*automata.DFA, error) {
+	key := budgetKey(ctx, formulaText+"\x00"+strings.Join(alphabet, "\x00"))
+	return MemoCtx(ctx, c, StageClaim, key, func(ctx context.Context) (*automata.DFA, error) {
+		return ltlf.CompileNegationCtx(ctx, f, alphabet)
 	})
-	return d
 }

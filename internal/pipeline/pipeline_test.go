@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/ir"
 	"github.com/shelley-go/shelley/internal/ltlf"
 	"github.com/shelley-go/shelley/internal/regex"
@@ -80,7 +81,7 @@ func TestNilCacheBuildsEveryTime(t *testing.T) {
 	if got := c.Infer(context.Background(), p).String(); got == "" {
 		t.Fatal("nil cache Infer returned empty regex")
 	}
-	if d := c.MinimalDFA(context.Background(), regex.MustParse("a . b")); d == nil || !d.Accepts([]string{"a", "b"}) {
+	if d, err := c.MinimalDFA(context.Background(), regex.MustParse("a . b")); err != nil || d == nil || !d.Accepts([]string{"a", "b"}) {
 		t.Fatal("nil cache MinimalDFA broken")
 	}
 	if got := c.Stats(); len(got.Stages) != NumStages {
@@ -182,8 +183,11 @@ func TestInferMatchesCore(t *testing.T) {
 	if c.Infer(context.Background(), p).String() != raw.String() {
 		t.Fatal("warm Infer differs")
 	}
-	d1 := c.BehaviorDFA(context.Background(), p)
-	d2 := c.BehaviorDFA(context.Background(), p)
+	d1, err1 := c.BehaviorDFA(context.Background(), p)
+	d2, err2 := c.BehaviorDFA(context.Background(), p)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("BehaviorDFA errored: %v, %v", err1, err2)
+	}
 	if d1 != d2 {
 		t.Fatal("warm BehaviorDFA is not the shared cached automaton")
 	}
@@ -192,13 +196,13 @@ func TestInferMatchesCore(t *testing.T) {
 func TestClaimNegationCachedByTextAndAlphabet(t *testing.T) {
 	c := New()
 	f := ltlf.MustParse("(!a) W b")
-	d1 := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b"})
-	d2 := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b"})
+	d1, _ := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b"})
+	d2, _ := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b"})
 	if d1 != d2 {
 		t.Fatal("same formula and alphabet must share one cached automaton")
 	}
 	// A different alphabet is a different language — it must not alias.
-	d3 := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b", "c"})
+	d3, _ := c.ClaimNegation(context.Background(), f, "(!a) W b", []string{"a", "b", "c"})
 	if d3 == d1 {
 		t.Fatal("distinct alphabets alias one cache entry")
 	}
@@ -254,16 +258,22 @@ func TestStageStrings(t *testing.T) {
 }
 
 // TestPanicReleasesWaiters ensures a panicking build cannot strand
-// concurrent waiters: they must observe an error, and the panic must
-// still propagate to the building goroutine.
+// concurrent waiters: each either observes the panic error (it was
+// blocked on the poisoned entry) or rebuilds fresh (it arrived after
+// the entry was removed), and the panic must still propagate to the
+// building goroutine.
 func TestPanicReleasesWaiters(t *testing.T) {
 	c := New()
 	gate := make(chan struct{})
-	waiterDone := make(chan error, 1)
+	type outcome struct {
+		val any
+		err error
+	}
+	waiterDone := make(chan outcome, 1)
 	go func() {
 		<-gate
-		_, err := c.Do(StageDFA, "p", func() (any, error) { return "never", nil })
-		waiterDone <- err
+		v, err := c.Do(StageDFA, "p", func() (any, error) { return "rebuilt", nil })
+		waiterDone <- outcome{v, err}
 	}()
 	panicked := make(chan any, 1)
 	go func() {
@@ -277,7 +287,59 @@ func TestPanicReleasesWaiters(t *testing.T) {
 	if r := <-panicked; r == nil {
 		t.Fatal("panic did not propagate to the builder")
 	}
-	if err := <-waiterDone; err == nil {
-		t.Fatal("waiter saw no error from the panicked build")
+	if o := <-waiterDone; o.err == nil && o.val != "rebuilt" {
+		t.Fatalf("waiter stranded with neither error nor rebuild: %v", o.val)
+	}
+}
+
+// TestPanicDoesNotPoisonKey ensures a panicking build is not cached: a
+// panic, unlike a build error, is not known to be deterministic, so the
+// next caller of the same key must get a fresh build.
+func TestPanicDoesNotPoisonKey(t *testing.T) {
+	c := New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		_, _ = c.Do(StageDFA, "poison", func() (any, error) { panic("kaboom") })
+	}()
+	v, err := c.Do(StageDFA, "poison", func() (any, error) { return "recovered", nil })
+	if err != nil || v.(string) != "recovered" {
+		t.Fatalf("panicked key stayed poisoned: %v, %v", v, err)
+	}
+}
+
+// TestBudgetInCacheKey ensures budget-exceeded results cannot poison
+// the cache across budgets: the same regex compiled under a tiny budget
+// caches its structured error, and a retry under a larger (or
+// unlimited) budget hashes to a different key and succeeds.
+func TestBudgetInCacheKey(t *testing.T) {
+	c := New()
+	r := regex.MustParse("(a + b)* . a . (a + b) . (a + b) . (a + b)")
+	tiny := budget.With(context.Background(), budget.Limits{MaxDFAStates: 2})
+	if _, err := c.MinimalDFA(tiny, r); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("tiny budget: got %v, want ErrExceeded", err)
+	}
+	// Deterministic: the error is served from cache on retry.
+	if _, err := c.MinimalDFA(tiny, r); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("cached tiny-budget error lost: %v", err)
+	}
+	// A larger budget is a different cache key and must succeed.
+	big := budget.With(context.Background(), budget.Default())
+	d, err := c.MinimalDFA(big, r)
+	if err != nil || d == nil {
+		t.Fatalf("retry with larger budget failed: %v", err)
+	}
+	if !d.Accepts([]string{"b", "a", "a", "b", "a"}) {
+		t.Fatal("larger-budget DFA is wrong")
+	}
+	// Unlimited context shares the pre-budget key and also succeeds.
+	if _, err := c.MinimalDFA(context.Background(), r); err != nil {
+		t.Fatalf("unlimited retry failed: %v", err)
+	}
+	if st := c.Stats().Of(StageDFA); st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 3 misses / 1 hit", st)
 	}
 }

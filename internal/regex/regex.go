@@ -318,6 +318,43 @@ func Size(r Regex) int {
 	return 1
 }
 
+// SizeWithin reports whether Size(r) <= max, visiting at most max+1
+// nodes: the early exit makes it the right primitive for enforcing a
+// regex-size budget on expressions that may be astronomically larger
+// than the budget itself (state elimination can square sizes per
+// eliminated state). max <= 0 means unlimited and always reports true.
+func SizeWithin(r Regex, max int) bool {
+	if max <= 0 {
+		return true
+	}
+	left := max
+	return sizeWithin(r, &left)
+}
+
+func sizeWithin(r Regex, left *int) bool {
+	*left--
+	if *left < 0 {
+		return false
+	}
+	switch r := r.(type) {
+	case Cat:
+		for _, p := range r.Parts {
+			if !sizeWithin(p, left) {
+				return false
+			}
+		}
+	case Alt:
+		for _, p := range r.Parts {
+			if !sizeWithin(p, left) {
+				return false
+			}
+		}
+	case Rep:
+		return sizeWithin(r.Inner, left)
+	}
+	return true
+}
+
 // Alphabet returns the set of symbol names occurring in r, sorted.
 func Alphabet(r Regex) []string {
 	set := make(map[string]struct{})

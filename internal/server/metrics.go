@@ -53,6 +53,14 @@ type metrics struct {
 	// saturated counts submissions rejected because the queue was full
 	// or the daemon was draining.
 	saturated atomic.Uint64
+
+	// panics counts verification panics contained at the pooled-job
+	// boundary (answered 500; the daemon survives).
+	panics atomic.Uint64
+
+	// budgetExceeded counts requests answered with a structured
+	// resource-budget error instead of unbounded work.
+	budgetExceeded atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -137,6 +145,8 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
 	counter("shelleyd_timeouts_queue_total", "Jobs that expired before a worker picked them up.", m.timeoutQueue.Load())
 	counter("shelleyd_timeouts_wait_total", "Waiters whose own deadline ended before the shared result.", m.timeoutWait.Load())
 	counter("shelleyd_saturated_total", "Submissions rejected with 503 (queue full or draining).", m.saturated.Load())
+	counter("shelley_panics_total", "Verification panics contained at the worker boundary (answered 500).", m.panics.Load())
+	counter("shelley_budget_exceeded_total", "Requests answered with a structured resource-budget error.", m.budgetExceeded.Load())
 	gauge("shelleyd_queue_depth", "Jobs waiting for a worker.", m.queueDepth.Load())
 	gauge("shelleyd_workers_busy", "Workers currently executing a job.", m.workersBusy.Load())
 	gauge("shelleyd_inflight_requests", "Requests currently inside a handler.", m.inflight.Load())

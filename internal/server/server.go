@@ -36,6 +36,7 @@ import (
 
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/client"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/check"
 	"github.com/shelley-go/shelley/internal/obs"
 )
@@ -81,10 +82,24 @@ type Config struct {
 	// TraceRingSize caps the span ring; 0 means 4096.
 	TraceRingSize int
 
+	// Limits is the per-request resource budget attached to every
+	// pooled job's context: it bounds automata states, regex sizes, and
+	// counterexample-search nodes so a pathological request returns a
+	// structured budget error instead of pinning a worker and growing
+	// memory without bound. The zero value means budget.Default();
+	// explicitly unlimited daemons are not supported — set huge limits
+	// instead.
+	Limits budget.Limits
+
 	// jobHook, when set, runs at the start of every pooled job — a
 	// test-only seam that lets the suite hold workers at a barrier and
 	// observe saturation, coalescing, and drain deterministically.
 	jobHook func()
+
+	// runHook, when set, runs inside the panic-contained execution
+	// region of every pooled job, before the verification work — a
+	// test-only seam for injecting panics to exercise containment.
+	runHook func()
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxModules <= 0 {
 		c.MaxModules = 256
+	}
+	if c.Limits.Unlimited() {
+		c.Limits = budget.Default()
 	}
 	return c
 }
@@ -342,7 +360,27 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, key string, fn 
 		j := job{
 			deadline: time.Now().Add(s.cfg.RequestTimeout),
 			run: func(ctx context.Context) {
-				status, body := fn(carrier.Context(ctx))
+				// A panic anywhere in the verification pipeline must not
+				// kill the daemon or strand the coalesced waiters: it is
+				// contained here, counted, and answered as a 500. The
+				// coalescer entry is forgotten first so a retry of the
+				// same key computes fresh instead of waiting forever.
+				defer func() {
+					if rec := recover(); rec != nil {
+						s.met.panics.Add(1)
+						s.co.forget(key)
+						body, _ := json.Marshal(client.ErrorResponse{
+							Error: fmt.Sprintf("internal error: verification panicked: %v", rec),
+						})
+						c.resolve(http.StatusInternalServerError, body)
+					}
+				}()
+				if s.cfg.runHook != nil {
+					s.cfg.runHook()
+				}
+				// Every pooled job runs under the configured resource
+				// budget; pipeline constructions read it from the context.
+				status, body := fn(budget.With(carrier.Context(ctx), s.cfg.Limits))
 				s.co.forget(key)
 				c.resolve(status, body)
 			},
@@ -413,10 +451,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 			reports, err = mod.CheckAllContext(ctx, s.cfg.CheckWorkers)
 		}
 		if err != nil {
-			if ctx.Err() != nil {
-				return errorBody(http.StatusGatewayTimeout, "check timed out: "+err.Error())
-			}
-			return errorBody(http.StatusUnprocessableEntity, err.Error())
+			return s.checkErrorBody(ctx, err)
 		}
 		ok := true
 		for _, rep := range reports {
@@ -424,6 +459,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 		}
 		return jsonBody(client.CheckResponse{Fingerprint: fp, OK: ok, Reports: reports})
 	})
+}
+
+// checkErrorBody maps a verification error to its response: budget
+// exhaustion is the client's problem (422, counted), a fired deadline
+// is a timeout (504), anything else is unprocessable input (422).
+func (s *Server) checkErrorBody(ctx context.Context, err error) (int, []byte) {
+	if errors.Is(err, budget.ErrExceeded) {
+		s.met.budgetExceeded.Add(1)
+		return errorBody(http.StatusUnprocessableEntity, "resource budget exceeded: "+err.Error())
+	}
+	if ctx.Err() != nil || errors.Is(err, budget.ErrCanceled) {
+		return errorBody(http.StatusGatewayTimeout, "check timed out: "+err.Error())
+	}
+	return errorBody(http.StatusUnprocessableEntity, err.Error())
 }
 
 // checkAllPrecise is the precise-mode module sweep: per-class Check

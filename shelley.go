@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/check"
 	"github.com/shelley-go/shelley/internal/hw"
 	"github.com/shelley-go/shelley/internal/interp"
@@ -73,6 +74,38 @@ type (
 
 // NewBoard returns an empty emulated GPIO board.
 func NewBoard() *Board { return hw.NewBoard() }
+
+// Budget bounds the resources one verification may consume: maximum
+// NFA/DFA states per construction, maximum regex size, and maximum
+// search nodes per counterexample search. The zero value means
+// unlimited. Attach a budget to a context with WithBudget and pass that
+// context to CheckContext / CheckAllContext; when a construction would
+// exceed the budget the check returns a structured error matching
+// ErrBudgetExceeded instead of pinning the goroutine.
+type Budget = budget.Limits
+
+// DefaultBudget returns the production limits shelleyd ships with:
+// generous enough for every legitimate class in the corpus, small
+// enough that a blowup dies in bounded time and memory.
+func DefaultBudget() Budget { return budget.Default() }
+
+// WithBudget returns a context carrying the resource budget; every
+// budget-aware construction reached through that context enforces it.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return budget.With(ctx, b)
+}
+
+// Sentinel errors for classifying verification failures with errors.Is.
+var (
+	// ErrBudgetExceeded matches every budget-exceeded error, regardless
+	// of which resource tripped; errors.As against *budget.Err exposes
+	// the resource, operation, and limit.
+	ErrBudgetExceeded = budget.ErrExceeded
+
+	// ErrCanceled matches errors from constructions interrupted by
+	// context cancellation or deadline expiry.
+	ErrCanceled = budget.ErrCanceled
+)
 
 // Diagnostic kinds, re-exported.
 const (

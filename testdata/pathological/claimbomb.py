@@ -1,0 +1,37 @@
+# Pathological: claim bomb. The behavior itself is tiny — any mix of
+# t.a and t.b — but the claim's negation F (t.a & X^12 t.a) is the
+# classic LTLf counting formula: the progression automaton must track
+# every pending 12-step obligation, so its state space is 2^12 sets of
+# obligations. Stresses the LTLf compile budget (states and DNF
+# clauses) rather than the behavior pipeline.
+
+@sys
+class Tok:
+    def __init__(self):
+        self.pin = Pin(4, OUT)
+
+    @op_initial_final
+    def a(self):
+        self.pin.on()
+        return ["a", "b"]
+
+    @op_initial_final
+    def b(self):
+        self.pin.off()
+        return ["a", "b"]
+
+
+@claim("!(F (t.a & X X X X X X X X X X X X t.a))")
+@sys(["t"])
+class ClaimBomb:
+    def __init__(self):
+        self.t = Tok()
+
+    @op_initial_final
+    def run(self):
+        while self.more():
+            if self.flip():
+                self.t.a()
+            else:
+                self.t.b()
+        return []

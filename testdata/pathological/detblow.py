@@ -1,0 +1,110 @@
+# Pathological: determinization bomb. The behavior of `run` is
+# (a+b)* . a . (a+b)^18 over the token subsystem — the textbook NFA
+# whose minimal DFA has 2^19 states (it must remember the last 19
+# symbols). Subset construction and derivative compilation both
+# explode past the production default MaxDFAStates; under a resource
+# budget the check returns a structured budget error instead of
+# pinning a worker.
+
+@sys
+class Tok:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_initial_final
+    def a(self):
+        self.pin.on()
+        return ["a", "b"]
+
+    @op_initial_final
+    def b(self):
+        self.pin.off()
+        return ["a", "b"]
+
+
+@sys(["t"])
+class DetBlow:
+    def __init__(self):
+        self.t = Tok()
+
+    @op_initial_final
+    def run(self):
+        while self.more():
+            if self.flip():
+                self.t.a()
+            else:
+                self.t.b()
+        self.t.a()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        return []

@@ -1,0 +1,87 @@
+# Pathological: loop tower. A four-deep nest of while loops feeds a
+# counting tail a . (a+b)^11, so the inferred regex is a tower of
+# nested stars whose determinization still has to remember a 12-symbol
+# window — at least 2^12 states. Stresses the derivative/determinize
+# state budgets through deeply nested iteration rather than sheer
+# width.
+
+@sys
+class Tok:
+    def __init__(self):
+        self.pin = Pin(2, OUT)
+
+    @op_initial_final
+    def a(self):
+        self.pin.on()
+        return ["a", "b"]
+
+    @op_initial_final
+    def b(self):
+        self.pin.off()
+        return ["a", "b"]
+
+
+@sys(["t"])
+class LoopTower:
+    def __init__(self):
+        self.t = Tok()
+
+    @op_initial_final
+    def climb(self):
+        while self.l0():
+            self.t.a()
+            while self.l1():
+                self.t.b()
+                while self.l2():
+                    self.t.a()
+                    while self.l3():
+                        if self.flip():
+                            self.t.a()
+                        else:
+                            self.t.b()
+        self.t.a()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        if self.flip():
+            self.t.a()
+        else:
+            self.t.b()
+        return []

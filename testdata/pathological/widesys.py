@@ -1,0 +1,95 @@
+# Pathological: wide composite product. Six Cell subsystems give the
+# flat automaton a 12-symbol alphabet and three stacked claims multiply
+# the LTLf product on top; the counting core c1.a . (c1.a+c1.b)^11
+# after a free mix of c1 symbols forces the determinized behavior to
+# track a 12-symbol window — at least 2^12 states over the wide
+# alphabet.
+
+@sys
+class Cell:
+    def __init__(self):
+        self.pin = Pin(3, OUT)
+
+    @op_initial_final
+    def a(self):
+        self.pin.on()
+        return ["a", "b"]
+
+    @op_initial_final
+    def b(self):
+        self.pin.off()
+        return ["a", "b"]
+
+
+@claim("G (c2.a -> F c2.b)")
+@claim("G (c3.a -> F c3.b)")
+@claim("G (c4.a -> F c4.b)")
+@sys(["c1", "c2", "c3", "c4", "c5", "c6"])
+class WideSys:
+    def __init__(self):
+        self.c1 = Cell()
+        self.c2 = Cell()
+        self.c3 = Cell()
+        self.c4 = Cell()
+        self.c5 = Cell()
+        self.c6 = Cell()
+
+    @op_initial_final
+    def sweep(self):
+        self.c2.a()
+        self.c2.b()
+        self.c3.a()
+        self.c3.b()
+        self.c4.a()
+        self.c4.b()
+        self.c5.a()
+        self.c5.b()
+        self.c6.a()
+        self.c6.b()
+        while self.more():
+            if self.flip():
+                self.c1.a()
+            else:
+                self.c1.b()
+        self.c1.a()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        if self.flip():
+            self.c1.a()
+        else:
+            self.c1.b()
+        return []
