@@ -124,6 +124,49 @@ func TestBudgetErrorDoesNotPoisonModule(t *testing.T) {
 	}
 }
 
+// TestCanceledCheckDoesNotPoisonModule is the cancellation twin of the
+// budget-poisoning regression, and the review scenario verbatim:
+// shelleyd uses one fixed Config.Limits for every request, so the
+// budget-prefixed cache keys are identical across requests — a request
+// deadline firing mid-construction must therefore leave NO cache entry
+// behind. The test times a deadline to fire inside the blowup build
+// (retrying with a fresh module until it wins the race against the
+// budget gate), then re-checks the SAME resident module with the SAME
+// budget and a generous deadline: that retry must recompute — detblow
+// deterministically exceeds the tight budget — instead of replaying
+// the cached cancellation.
+func TestCanceledCheckDoesNotPoisonModule(t *testing.T) {
+	b := tightBudget()
+	var mod *Module
+	for attempt := 0; attempt < 20 && mod == nil; attempt++ {
+		m, err := LoadFile(filepath.Join("testdata", "pathological", "detblow.py"))
+		if err != nil {
+			t.Fatalf("LoadFile: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(WithBudget(context.Background(), b), time.Millisecond)
+		_, err = m.CheckAllContext(ctx, 1)
+		cancel()
+		if err == nil {
+			t.Fatal("detblow checked OK under the tight budget")
+		}
+		if errors.Is(err, ErrCanceled) {
+			mod = m // the deadline fired mid-construction on this module
+		}
+	}
+	if mod == nil {
+		t.Skip("budget gate always tripped before the 1ms deadline; cannot time a mid-build cancellation on this machine")
+	}
+	ctx, cancel := context.WithTimeout(WithBudget(context.Background(), b), 30*time.Second)
+	defer cancel()
+	_, err := mod.CheckAllContext(ctx, 1)
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("same-budget retry replayed a cached cancellation: %v", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("same-budget retry: want fresh ErrBudgetExceeded, got: %v", err)
+	}
+}
+
 // TestBudgetedCheckReleasesGoroutines is the worker-stop regression:
 // after a blowup check is cut off, the goroutine count must return to
 // baseline — nothing may keep grinding on the abandoned construction.

@@ -72,6 +72,10 @@ func (l Limits) Unlimited() bool { return l == Limits{} }
 // ErrBudgetExceeded is cached deterministically for its budget, and a
 // retry with a larger budget hashes to a fresh key and can succeed.
 // Unlimited limits encode as "" (pre-budget keys are unchanged).
+// Cache layers key each stage by the projection of the limits onto the
+// resources that stage can consume (zeroing the rest before calling
+// Key), so entries don't fragment on limits that cannot affect them —
+// e.g. two requests differing only in MaxSearchNodes share DFAs.
 func (l Limits) Key() string {
 	if l.Unlimited() {
 		return ""

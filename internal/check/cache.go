@@ -25,20 +25,24 @@ func WithCache(cache *pipeline.Cache) Option {
 
 // classKey builds the content-addressed key covering everything the
 // analysis of c reads: the class's own fingerprint, the analysis mode,
-// the context's resource budget (a budget-exceeded report is cached
+// the given resource budget (a budget-exceeded report is cached
 // deterministically for its budget; a retry with a larger budget is a
 // different key and can succeed), and the fingerprint of every resolved
 // subsystem class (checkUsage and checkClaims depend on the subsystems'
 // protocols, but nothing deeper — a subsystem's own subsystems never
-// enter the analysis of c). ok is false when a subsystem cannot be
-// resolved; the analysis then errors on the uncached path.
-func classKey(cfg config, c *model.Class, reg Registry) (string, bool) {
+// enter the analysis of c). Callers pass the projection of the
+// context's limits onto the resources their stage consumes: the report
+// stage passes them whole (its searches gate every limit), the flatten
+// stage passes flattenLimits so automata don't fragment on search
+// bounds that cannot affect them. ok is false when a subsystem cannot
+// be resolved; the analysis then errors on the uncached path.
+func classKey(cfg config, c *model.Class, reg Registry, limits budget.Limits) (string, bool) {
 	var b strings.Builder
 	b.WriteString(c.Fingerprint())
 	if cfg.precise {
 		b.WriteString("|precise")
 	}
-	if bk := budget.From(cfg.ctx).Key(); bk != "" {
+	if bk := limits.Key(); bk != "" {
 		b.WriteString("|")
 		b.WriteString(bk)
 	}
@@ -55,6 +59,18 @@ func classKey(cfg config, c *model.Class, reg Registry) (string, bool) {
 	return b.String(), true
 }
 
+// flattenLimits projects l onto the limits flattening can consume: the
+// ε-NFA substitution gates nfa-states, its determinization gates
+// dfa-states, and the nested behavior compiles gate dfa-states and
+// regex-size. Search-node limits only bound the searches that later
+// run over the flattened automaton, never the automaton itself, so
+// they are excluded from the StageFlatten key — two requests differing
+// only in MaxSearchNodes share one flattened automaton.
+func flattenLimits(l budget.Limits) budget.Limits {
+	l.MaxSearchNodes = 0
+	return l
+}
+
 // PeekReport returns a clone of c's memoized whole-class report when
 // the report stage is already warm: ok is false when the class is
 // uncached, unkeyable, still being built, or cached as an error — the
@@ -69,7 +85,7 @@ func PeekReport(ctx context.Context, c *model.Class, reg Registry, opts ...Optio
 	if cfg.cache == nil {
 		return nil, false
 	}
-	key, ok := classKey(cfg, c, reg)
+	key, ok := classKey(cfg, c, reg, budget.From(cfg.ctx))
 	if !ok {
 		return nil, false
 	}
@@ -135,7 +151,7 @@ func flattened(cfg config, c *model.Class, reg Registry, alphabet []string) (*fl
 		return flatPair{flat: flat, dfa: dfa}, nil
 	}
 	if cfg.cache != nil {
-		if key, ok := classKey(cfg, c, reg); ok {
+		if key, ok := classKey(cfg, c, reg, flattenLimits(budget.From(cfg.ctx))); ok {
 			pair, err := pipeline.MemoCtx(cfg.ctx, cfg.cache, pipeline.StageFlatten, key, build)
 			return pair.flat, pair.dfa, err
 		}

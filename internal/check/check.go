@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/model"
 	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/pipeline"
@@ -201,7 +202,7 @@ func CheckContext(ctx context.Context, c *model.Class, reg Registry, opts ...Opt
 	// opened.
 	key, memoized := "", false
 	if cfg.cache != nil {
-		if k, ok := classKey(cfg, c, reg); ok {
+		if k, ok := classKey(cfg, c, reg, budget.From(cfg.ctx)); ok {
 			key, memoized = k, true
 			if v, cerr, hit := cfg.cache.Peek(ctx, pipeline.StageReport, key); hit {
 				if cerr != nil {

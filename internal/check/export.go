@@ -2,6 +2,7 @@ package check
 
 import (
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/model"
 	"github.com/shelley-go/shelley/internal/pipeline"
 )
@@ -32,7 +33,7 @@ func FlattenedDFA(c *model.Class, reg Registry, opts ...Option) (*automata.DFA, 
 		return nil, err
 	}
 	if cfg.cache != nil {
-		if key, ok := classKey(cfg, c, reg); ok {
+		if key, ok := classKey(cfg, c, reg, flattenLimits(budget.From(cfg.ctx))); ok {
 			min, err := pipeline.Memo(cfg.cache, pipeline.StageFlatten, key+"|min",
 				func() (*automata.DFA, error) {
 					_, dfa, err := flattened(cfg, c, reg, alphabet)

@@ -21,6 +21,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -151,12 +152,39 @@ func shardIndex(key string) int {
 	return int(h & (shardCount - 1))
 }
 
+// ErrPanicked is the sentinel wrapped into the error published to
+// waiters of a panicking build. It exists so every cache layer can
+// recognize a panic-contaminated result when it propagates upward: a
+// waiter blocked on the doomed entry returns the synthesized error as
+// an ordinary build error up its own stack, and without the sentinel an
+// outer stage (a different class's report, a flatten that embeds the
+// inner artifact) would memoize it permanently even though the panicked
+// entry itself was deleted.
+var ErrPanicked = errors.New("pipeline: build panicked")
+
+// uncacheable reports whether a build error must not be memoized.
+// Cancellation belongs to one request's deadline, not to the content:
+// caching a *budget.CancelErr would turn one timed-out request into a
+// permanent instant failure for every later request with the same
+// budget key. Panic contamination (ErrPanicked, possibly observed by a
+// waiter and re-returned from an outer build) is not known to be
+// deterministic. Budget-exceeded errors are NOT listed: under a
+// budget-prefixed key they are deterministic and stay cached.
+func uncacheable(err error) bool {
+	return errors.Is(err, ErrPanicked) ||
+		errors.Is(err, budget.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // Do returns the cached value for (stage, key), building it with build
 // on first use. Concurrent callers of the same key share one build:
 // exactly one goroutine runs build while the others wait, so the cost
 // of every artifact is paid once regardless of worker count. Build
 // errors are cached too — the pipeline is deterministic, so an error is
-// as content-addressed as a value. A nil receiver bypasses the cache.
+// as content-addressed as a value — except cancellation and panic
+// containment errors (see uncacheable), which are released to waiters
+// but never memoized. A nil receiver bypasses the cache.
 func (c *Cache) Do(stage Stage, key string, build func() (any, error)) (any, error) {
 	return c.DoCtx(context.Background(), stage, key,
 		func(context.Context) (any, error) { return build() })
@@ -197,28 +225,41 @@ func (c *Cache) DoCtx(ctx context.Context, stage Stage, key string, build func(c
 	defer func() {
 		if r := recover(); r != nil {
 			// Never strand waiters on a panicking build: publish an
-			// error, release them, and re-panic. The entry is also
-			// removed from the shard, because a panic — unlike a build
-			// error — is not known to be deterministic: caching it would
-			// poison the key forever, while deleting it lets the next
-			// caller retry from scratch.
-			e.err = fmt.Errorf("pipeline: %s build for key %q panicked: %v", stage, key, r)
-			close(e.ready)
+			// error, release them, and re-panic. The entry is deleted
+			// from the shard first — before ready is closed — so a
+			// caller that looks up the key after the close can never
+			// latch onto the doomed entry; it rebuilds from scratch.
+			// The published error wraps ErrPanicked so outer stages
+			// that receive it from a waiter decline to cache it too.
+			e.err = fmt.Errorf("%w: %s build for key %q: %v", ErrPanicked, stage, key, r)
 			sh.mu.Lock()
 			delete(sh.entries, k)
 			sh.mu.Unlock()
+			close(e.ready)
 			span.End()
 			panic(r)
 		}
 	}()
 	e.val, e.err = build(ctx)
 	elapsed := time.Since(start)
+	cacheable := !uncacheable(e.err)
+	if !cacheable {
+		// Release the waiters that already latched, but delete the
+		// entry (before closing ready, same ordering as the panic
+		// path) so the next caller rebuilds instead of inheriting a
+		// cancellation that belonged to someone else's deadline.
+		sh.mu.Lock()
+		delete(sh.entries, k)
+		sh.mu.Unlock()
+	}
 	close(e.ready)
 	span.End()
 
 	st := &c.stats[stage]
 	st.misses.Add(1)
-	st.entries.Add(1)
+	if cacheable {
+		st.entries.Add(1)
+	}
 	st.buildNanos.Add(int64(elapsed))
 	st.buckets[bucketIndex(elapsed)].Add(1)
 	return e.val, e.err
@@ -308,27 +349,42 @@ func (c *Cache) InferSimplified(ctx context.Context, p ir.Program) regex.Regex {
 	return r
 }
 
-// budgetKey prefixes key with the canonical encoding of ctx's resource
-// limits, so a result (or deterministic budget error) computed under
-// one budget is never served to a request with another: a retry with a
-// larger budget hashes to a fresh key and can succeed. Unlimited
-// contexts leave the key unchanged, so pre-budget entries keep hitting.
-func budgetKey(ctx context.Context, key string) string {
-	if bk := budget.From(ctx).Key(); bk != "" {
+// budgetKey prefixes key with the canonical encoding of the given
+// resource limits, so a result (or deterministic budget error) computed
+// under one budget is never served to a request with another: a retry
+// with a larger budget hashes to a fresh key and can succeed. Callers
+// pass the projection of ctx's limits onto the resources their stage
+// can actually consume (see dfaLimits), so keys don't fragment on
+// limits that cannot affect the artifact. Unlimited limits leave the
+// key unchanged, so pre-budget entries keep hitting.
+func budgetKey(l budget.Limits, key string) string {
+	if bk := l.Key(); bk != "" {
 		return bk + "\x01" + key
 	}
 	return key
 }
 
+// dfaLimits projects l onto the limits a regex→DFA compilation or an
+// LTLf claim compilation can consume: derivative construction,
+// determinization, and formula progression gate dfa-states, and state
+// elimination / DNF canonicalization gate regex-size. NFA-state and
+// search-node limits cannot affect these artifacts, so they stay out
+// of the cache key — two requests differing only in those limits share
+// one entry.
+func dfaLimits(l budget.Limits) budget.Limits {
+	return budget.Limits{MaxDFAStates: l.MaxDFAStates, MaxRegexSize: l.MaxRegexSize}
+}
+
 // MinimalDFA compiles r to its minimal DFA, memoized under StageDFA by
-// the canonical regex key (prefixed with ctx's budget key). The build
-// runs under ctx's resource budget; a budget trip is returned as a
-// structured error and cached like any other deterministic result.
-// Cached automata are shared read-only; all DFA algorithms in
-// internal/automata are non-mutating, and public API boundaries clone
-// before handing automata to callers.
+// the canonical regex key (prefixed with the DFA-relevant projection of
+// ctx's budget key). The build runs under ctx's resource budget; a
+// budget trip is returned as a structured error and cached like any
+// other deterministic result. Cached automata are shared read-only;
+// all DFA algorithms in internal/automata are non-mutating, and public
+// API boundaries clone before handing automata to callers.
 func (c *Cache) MinimalDFA(ctx context.Context, r regex.Regex) (*automata.DFA, error) {
-	return MemoCtx(ctx, c, StageDFA, budgetKey(ctx, regex.Key(r)), func(ctx context.Context) (*automata.DFA, error) {
+	key := budgetKey(dfaLimits(budget.From(ctx)), regex.Key(r))
+	return MemoCtx(ctx, c, StageDFA, key, func(ctx context.Context) (*automata.DFA, error) {
 		return automata.CompileMinimalCtx(ctx, r)
 	})
 }
@@ -342,10 +398,11 @@ func (c *Cache) BehaviorDFA(ctx context.Context, p ir.Program) (*automata.DFA, e
 
 // ClaimNegation compiles the violation automaton of an LTLf claim,
 // memoized under StageClaim. formulaText must be the source text of f
-// (it is the key, prefixed with ctx's budget key; two formulas with
-// equal text are equal). The compilation runs under ctx's budget.
+// (it is the key, prefixed with the claim-relevant projection of ctx's
+// budget key; two formulas with equal text are equal). The compilation
+// runs under ctx's budget.
 func (c *Cache) ClaimNegation(ctx context.Context, f ltlf.Formula, formulaText string, alphabet []string) (*automata.DFA, error) {
-	key := budgetKey(ctx, formulaText+"\x00"+strings.Join(alphabet, "\x00"))
+	key := budgetKey(dfaLimits(budget.From(ctx)), formulaText+"\x00"+strings.Join(alphabet, "\x00"))
 	return MemoCtx(ctx, c, StageClaim, key, func(ctx context.Context) (*automata.DFA, error) {
 		return ltlf.CompileNegationCtx(ctx, f, alphabet)
 	})

@@ -311,6 +311,166 @@ func TestPanicDoesNotPoisonKey(t *testing.T) {
 	}
 }
 
+// TestCancelErrNotCached is the regression test for the cache-poisoning
+// review finding: the daemon uses one fixed budget for all requests, so
+// the budget-prefixed key is identical across requests — if a request
+// deadline firing mid-construction left a *budget.CancelErr in the
+// cache, every later request for that key would fail instantly. A
+// canceled build must release its waiters but leave no entry behind.
+func TestCancelErrNotCached(t *testing.T) {
+	c := New()
+	cancelErrs := []error{
+		&budget.CancelErr{Op: "determinize", Cause: context.DeadlineExceeded},
+		context.DeadlineExceeded,
+		context.Canceled,
+	}
+	for i, cerr := range cancelErrs {
+		key := fmt.Sprintf("k-%d", i)
+		builds := 0
+		build := func() (any, error) {
+			builds++
+			if builds == 1 {
+				return nil, cerr
+			}
+			return "recovered", nil
+		}
+		if _, err := c.Do(StageReport, key, build); err == nil {
+			t.Fatalf("%v: first build should fail", cerr)
+		}
+		v, err := c.Do(StageReport, key, build)
+		if err != nil || v.(string) != "recovered" {
+			t.Fatalf("%v stayed cached: %v, %v (builds=%d)", cerr, v, err, builds)
+		}
+	}
+	// Deleted cancellations must not count as live entries.
+	if st := c.Stats().Of(StageReport); st.Entries != uint64(len(cancelErrs)) {
+		t.Fatalf("entries %d, want %d (one per recovered key)", st.Entries, len(cancelErrs))
+	}
+}
+
+// TestCanceledBuildRetrySameBudget runs the end-to-end shape of the
+// review scenario through the typed DFA path: a request whose deadline
+// already fired caches nothing, and a retry with the SAME budget (the
+// daemon's fixed Config.Limits) and a live context succeeds.
+func TestCanceledBuildRetrySameBudget(t *testing.T) {
+	c := New()
+	r := regex.MustParse("(a + b)* . a . b")
+	lim := budget.Default()
+	dead, cancel := context.WithCancel(budget.With(context.Background(), lim))
+	cancel()
+	if _, err := c.MinimalDFA(dead, r); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("dead context: got %v, want ErrCanceled", err)
+	}
+	d, err := c.MinimalDFA(budget.With(context.Background(), lim), r)
+	if err != nil || d == nil {
+		t.Fatalf("retry with same budget poisoned: %v", err)
+	}
+	if !d.Accepts([]string{"b", "a", "b"}) {
+		t.Fatal("retried DFA is wrong")
+	}
+}
+
+// TestPanicErrorNotCachedByOuterStage covers the waiter-leak finding: a
+// goroutine blocked on a panicking build receives the synthesized
+// ErrPanicked error and returns it as an ordinary error from its own
+// outer build (e.g. a different class's report embedding the artifact).
+// The outer DoCtx must recognize the sentinel and decline to cache it.
+func TestPanicErrorNotCachedByOuterStage(t *testing.T) {
+	c := New()
+	builds := 0
+	build := func() (any, error) {
+		builds++
+		if builds == 1 {
+			// What a waiter observes from the doomed inner entry,
+			// propagated verbatim up its own stack.
+			return nil, fmt.Errorf("checking inner: %w",
+				fmt.Errorf("%w: dfa build for key %q: kaboom", ErrPanicked, "inner"))
+		}
+		return "ok", nil
+	}
+	if _, err := c.Do(StageReport, "outer", build); !errors.Is(err, ErrPanicked) {
+		t.Fatalf("first outer build: got %v, want ErrPanicked", err)
+	}
+	v, err := c.Do(StageReport, "outer", build)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("outer stage cached the panic contamination: %v, %v", v, err)
+	}
+}
+
+// TestPanicWaiterDoesNotPoisonOuterKey drives the same leak through
+// real coalescing: W's outer build waits on the inner key while B's
+// build of that key panics. Whatever W observes — the panic error (it
+// latched the doomed entry) or a fresh rebuild (it arrived after the
+// delete) — the outer key must end up rebuildable.
+func TestPanicWaiterDoesNotPoisonOuterKey(t *testing.T) {
+	c := New()
+	gate := make(chan struct{})
+	var innerCalls atomic.Int32
+	innerBuild := func() (any, error) {
+		if innerCalls.Add(1) == 1 {
+			close(gate)
+			panic("kaboom")
+		}
+		return "inner", nil
+	}
+	outerDone := make(chan error, 1)
+	go func() {
+		<-gate // only start once B's build is in flight (or already done)
+		_, err := c.Do(StageReport, "outer", func() (any, error) {
+			return c.Do(StageDFA, "inner", innerBuild)
+		})
+		outerDone <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the builder")
+			}
+		}()
+		_, _ = c.Do(StageDFA, "inner", innerBuild)
+	}()
+	if err := <-outerDone; err != nil && !errors.Is(err, ErrPanicked) {
+		t.Fatalf("waiter saw unexpected error: %v", err)
+	}
+	// Whichever race was observed, neither key may stay poisoned.
+	v, err := c.Do(StageReport, "outer", func() (any, error) {
+		return c.Do(StageDFA, "inner", innerBuild)
+	})
+	if err != nil || v.(string) != "inner" {
+		t.Fatalf("outer key poisoned by coalesced panic: %v, %v", v, err)
+	}
+}
+
+// TestDFAKeyIgnoresIrrelevantLimits pins the per-stage budget key
+// projection: NFA-state and search-node limits cannot affect a
+// regex→DFA compilation, so two requests differing only in those
+// limits must share one cached automaton.
+func TestDFAKeyIgnoresIrrelevantLimits(t *testing.T) {
+	c := New()
+	r := regex.MustParse("a . b")
+	ctx1 := budget.With(context.Background(), budget.Limits{
+		MaxDFAStates: 100, MaxRegexSize: 1000, MaxSearchNodes: 10})
+	ctx2 := budget.With(context.Background(), budget.Limits{
+		MaxDFAStates: 100, MaxRegexSize: 1000, MaxSearchNodes: 999_999, MaxNFAStates: 7})
+	d1, err1 := c.MinimalDFA(ctx1, r)
+	d2, err2 := c.MinimalDFA(ctx2, r)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("compiles errored: %v, %v", err1, err2)
+	}
+	if d1 != d2 {
+		t.Fatal("DFA key fragments on limits the compilation never consumes")
+	}
+	// A limit that CAN affect the artifact still separates entries.
+	d3, err3 := c.MinimalDFA(budget.With(context.Background(),
+		budget.Limits{MaxDFAStates: 99, MaxRegexSize: 1000}), r)
+	if err3 != nil || d3 == d1 {
+		t.Fatalf("distinct dfa-states limits alias one entry (%v)", err3)
+	}
+	if st := c.Stats().Of(StageDFA); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 2 misses / 1 hit", st)
+	}
+}
+
 // TestBudgetInCacheKey ensures budget-exceeded results cannot poison
 // the cache across budgets: the same regex compiled under a tiny budget
 // caches its structured error, and a retry under a larger (or
