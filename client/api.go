@@ -8,6 +8,8 @@ package client
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"fmt"
 
 	shelley "github.com/shelley-go/shelley"
 )
@@ -140,4 +142,108 @@ type TraceResponse struct {
 // ErrorResponse is the JSON body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// BatchItem is one unit of a /v1/check-batch or /v1/jobs request. It
+// carries the same fields as a CheckRequest: source text or a resident
+// fingerprint, an optional class filter, and the precise-mode flag.
+type BatchItem struct {
+	// ID is an opaque client label echoed back on the item's record,
+	// so streaming callers can correlate results without tracking
+	// indices.
+	ID string `json:"id,omitempty"`
+
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Class       string `json:"class,omitempty"`
+	Precise     bool   `json:"precise,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/check-batch (synchronous NDJSON
+// stream) and POST /v1/jobs (async job submission).
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchRecord is one line of a batch NDJSON stream. Per-item records
+// carry Index/ID/Status plus either Check (status 200) or Error; the
+// final line of every well-formed stream is a terminal summary record
+// with Done set. A missing terminal record means the stream was
+// truncated in flight.
+type BatchRecord struct {
+	// Index is the item's position in the request (per-item records
+	// only). Records arrive in completion order, not index order.
+	Index int `json:"index"`
+
+	// ID echoes the item's client-supplied label.
+	ID string `json:"id,omitempty"`
+
+	// Status is the item's outcome as an HTTP status code: 200 verified
+	// (see Check), 400/404/413/422 per-item request errors, 499 client
+	// canceled mid-stream, 503 admission refused under drain, 504
+	// deadline expired. A non-200 item never fails the batch: the
+	// stream keeps flowing and the terminal record counts it in Failed.
+	Status int `json:"status,omitempty"`
+
+	// Check is the item's CheckResponse, byte-identical to what a
+	// single /v1/check of the same item would return (the two paths
+	// share one coalesced execution and one encoder). Decode with
+	// CheckResponse.
+	Check json.RawMessage `json:"check,omitempty"`
+
+	// Error is the item's error text for non-200 statuses.
+	Error string `json:"error,omitempty"`
+
+	// Done marks the terminal summary record closing the stream.
+	Done bool `json:"done,omitempty"`
+
+	// Total/Succeeded/Failed summarize the batch (terminal record
+	// only). Total counts items, Succeeded status-200 records, Failed
+	// everything else.
+	Total     int `json:"total,omitempty"`
+	Succeeded int `json:"succeeded,omitempty"`
+	Failed    int `json:"failed,omitempty"`
+}
+
+// CheckResponse decodes the record's embedded check result; nil for
+// non-200 records.
+func (r *BatchRecord) CheckResponse() (*CheckResponse, error) {
+	if len(r.Check) == 0 {
+		return nil, nil
+	}
+	var resp CheckResponse
+	if err := json.Unmarshal(r.Check, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding batch record %d: %w", r.Index, err)
+	}
+	return &resp, nil
+}
+
+// JobAccepted is the 202 body of POST /v1/jobs.
+type JobAccepted struct {
+	ResponseMeta
+
+	// Job is the job ID; poll GET /v1/jobs/{id} or stream
+	// GET /v1/jobs/{id}?stream=1.
+	Job string `json:"job"`
+
+	// Total is the number of items admitted.
+	Total int `json:"total"`
+}
+
+// JobStatus is the poll body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ResponseMeta
+
+	Job string `json:"job"`
+
+	// State is "running" or "done".
+	State string `json:"state"`
+
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+
+	// Records holds the per-item records accumulated so far; populated
+	// only when the poll asks for them (?records=1).
+	Records []BatchRecord `json:"records,omitempty"`
 }

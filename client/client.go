@@ -16,8 +16,9 @@ import (
 
 // Client talks to a running shelleyd.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	token string
 }
 
 // Option configures a Client.
@@ -27,6 +28,14 @@ type Option func(*Client)
 // transports, test doubles).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithToken sets the X-Shelley-Client header on every request. The
+// daemon keys batch admission control by this token (falling back to
+// the remote address), so clients sharing a NAT or proxy should each
+// send a distinct token to get their own fair share of the pool.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
 }
 
 // New returns a client for the daemon at base, e.g.
@@ -45,16 +54,29 @@ func New(base string, opts ...Option) *Client {
 
 // APIError is a non-2xx daemon response.
 type APIError struct {
-	// StatusCode is the HTTP status (404 unknown class/module, 503
-	// queue saturated or draining, 504 deadline exceeded, ...).
+	// StatusCode is the HTTP status (404 unknown class/module, 429
+	// per-client admission refused, 503 queue saturated or draining,
+	// 504 deadline exceeded, ...).
 	StatusCode int
 
 	// Message is the server's error text.
 	Message string
+
+	// RetryAfter is the daemon's backoff hint from the Retry-After
+	// header (429/503 responses), already jittered server-side so a
+	// fleet of refused clients does not retry in lockstep. Zero when
+	// the response carried no hint.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("shelleyd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Temporary reports whether the request may succeed if retried after
+// RetryAfter (admission, saturation, and drain refusals).
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
 }
 
 // Check POSTs /v1/check: full verification reports for a source (or a
@@ -163,15 +185,7 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
-	// Distributed-trace propagation: reuse the trace of the active span
-	// when the caller's context carries one, otherwise originate a
-	// fresh ID, so every request is correlatable with the daemon's
-	// access log and /v1/trace-export output.
-	traceID := obs.SpanFrom(ctx).TraceID()
-	if traceID == "" {
-		traceID = obs.NewTraceID()
-	}
-	httpReq.Header.Set("X-Shelley-Trace", traceID)
+	c.setHeaders(httpReq)
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return err
@@ -182,7 +196,7 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 		return err
 	}
 	if httpResp.StatusCode/100 != 2 {
-		return apiError(httpResp.StatusCode, raw)
+		return apiError(httpResp, raw)
 	}
 	if err := json.Unmarshal(raw, resp); err != nil {
 		return fmt.Errorf("client: decoding %s response: %w", path, err)
@@ -191,10 +205,27 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 		if id := httpResp.Header.Get("X-Shelley-Trace"); id != "" {
 			m.setTraceID(id)
 		} else {
-			m.setTraceID(traceID)
+			m.setTraceID(httpReq.Header.Get("X-Shelley-Trace"))
 		}
 	}
 	return nil
+}
+
+// setHeaders stamps the per-client headers every daemon request
+// carries: the admission-control token (when configured) and the
+// distributed-trace ID — reusing the trace of the caller's active span
+// when the context carries one, originating a fresh ID otherwise, so
+// every request is correlatable with the daemon's access log and
+// /v1/trace-export output.
+func (c *Client) setHeaders(httpReq *http.Request) {
+	if c.token != "" {
+		httpReq.Header.Set("X-Shelley-Client", c.token)
+	}
+	traceID := obs.SpanFrom(httpReq.Context()).TraceID()
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	httpReq.Header.Set("X-Shelley-Trace", traceID)
 }
 
 func (c *Client) get(ctx context.Context, path string) (string, error) {
@@ -202,6 +233,7 @@ func (c *Client) get(ctx context.Context, path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.setHeaders(httpReq)
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return "", err
@@ -212,15 +244,21 @@ func (c *Client) get(ctx context.Context, path string) (string, error) {
 		return "", err
 	}
 	if httpResp.StatusCode/100 != 2 {
-		return "", apiError(httpResp.StatusCode, raw)
+		return "", apiError(httpResp, raw)
 	}
 	return string(raw), nil
 }
 
-func apiError(status int, body []byte) error {
+func apiError(resp *http.Response, body []byte) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
 	var e ErrorResponse
 	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
-		return &APIError{StatusCode: status, Message: e.Error}
+		apiErr.Message = e.Error
+	} else {
+		apiErr.Message = strings.TrimSpace(string(body))
 	}
-	return &APIError{StatusCode: status, Message: strings.TrimSpace(string(body))}
+	return apiErr
 }

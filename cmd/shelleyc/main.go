@@ -6,6 +6,13 @@
 // Usage:
 //
 //	shelleyc [-class NAME] [-quiet] [-trace out.json] FILE.py [FILE.py ...]
+//	shelleyc -server http://HOST:PORT [-batch] FILE.py [FILE.py ...]
+//
+// With -server the files are verified by a running shelleyd instead of
+// in-process; each file is checked as its own module. Adding -batch
+// folds every file into one /v1/check-batch request and prints results
+// as the daemon streams them back — the fast path for large file sets
+// against a warm daemon.
 //
 // The exit status is 0 when every checked class verifies, 1 when any
 // diagnostic is reported, and 2 on usage or load errors.
@@ -14,13 +21,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/client"
 	"github.com/shelley-go/shelley/internal/check"
 	"github.com/shelley-go/shelley/internal/obs"
 )
@@ -60,6 +70,8 @@ func run(args []string, out io.Writer) (code int, err error) {
 	stats := fs.Bool("stats", false, "print pipeline cache statistics after verification")
 	maxStates := fs.Int("max-states", 0, "bound automata states and search nodes per construction (0 = unlimited)")
 	maxRegex := fs.Int("max-regex", 0, "bound regex size per construction (0 = unlimited)")
+	serverURL := fs.String("server", "", "verify via a running shelleyd at this base URL instead of in-process")
+	batch := fs.Bool("batch", false, "with -server: send every file in one /v1/check-batch stream")
 	var tr obs.CLIFlags
 	tr.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +79,15 @@ func run(args []string, out io.Writer) (code int, err error) {
 	}
 	if fs.NArg() == 0 {
 		return 2, fmt.Errorf("no input files (usage: shelleyc [-class NAME] FILE.py ...)")
+	}
+	if *serverURL != "" {
+		if *emitNuSMV || *explain || *stats || *violations > 0 {
+			return 2, fmt.Errorf("-nusmv, -explain, -stats, and -violations are in-process modes; drop them or drop -server")
+		}
+		return runRemote(out, *serverURL, *batch, fs.Args(), *className, *precise, *quiet, *jsonOut)
+	}
+	if *batch {
+		return 2, fmt.Errorf("-batch requires -server (in-process verification has no batch wire)")
 	}
 	ctx := tr.Context(context.Background())
 	ctx = withBudgetFlags(ctx, *maxStates, *maxRegex)
@@ -163,4 +184,102 @@ func run(args []string, out io.Writer) (code int, err error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// runRemote verifies the files against a running shelleyd: one
+// /v1/check per file, or one streamed /v1/check-batch for all of them
+// with -batch. Results print in the local format as they arrive, and
+// the exit-code contract is unchanged — 0 clean, 1 findings, 2 errors
+// (including per-item request errors, which never abort the rest of
+// the stream).
+func runRemote(out io.Writer, serverURL string, batch bool, files []string, className string, precise, quiet, jsonOut bool) (int, error) {
+	cl := client.New(serverURL)
+	ctx := context.Background()
+	items := make([]client.BatchItem, len(files))
+	for i, p := range files {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return 2, err
+		}
+		items[i] = client.BatchItem{ID: p, Source: string(b), Class: className, Precise: precise}
+	}
+
+	code := 0
+	worst := func(c int) {
+		if c > code {
+			code = c
+		}
+	}
+	var reports []*shelley.Report
+	handle := func(file string, resp *client.CheckResponse, status int, errText string) {
+		if status != 0 {
+			worst(2)
+			fmt.Fprintf(out, "%s: error (%d): %s\n", file, status, errText)
+			return
+		}
+		for _, rep := range resp.Reports {
+			reports = append(reports, rep)
+			if rep.OK() {
+				if !quiet && !jsonOut {
+					fmt.Fprintf(out, "class %s: OK\n", rep.Class)
+				}
+				continue
+			}
+			worst(1)
+			if !jsonOut {
+				fmt.Fprintf(out, "class %s:\n%s\n", rep.Class, rep)
+			}
+		}
+	}
+
+	if batch {
+		stream, err := cl.CheckBatch(ctx, client.BatchRequest{Items: items})
+		if err != nil {
+			return 2, err
+		}
+		defer stream.Close()
+		for {
+			rec, err := stream.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return 2, err
+			}
+			if rec.Status != http.StatusOK {
+				handle(rec.ID, nil, rec.Status, rec.Error)
+				continue
+			}
+			resp, err := rec.CheckResponse()
+			if err != nil {
+				return 2, err
+			}
+			handle(rec.ID, resp, 0, "")
+		}
+		if sum := stream.Summary(); sum != nil && sum.Error != "" {
+			return 2, fmt.Errorf("batch incomplete: %s", sum.Error)
+		}
+	} else {
+		for i, it := range items {
+			resp, err := cl.Check(ctx, client.CheckRequest{Source: it.Source, Class: it.Class, Precise: it.Precise})
+			if err != nil {
+				var apiErr *client.APIError
+				if errors.As(err, &apiErr) {
+					handle(files[i], nil, apiErr.StatusCode, apiErr.Message)
+					continue
+				}
+				return 2, err
+			}
+			handle(files[i], resp, 0, "")
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return 2, err
+		}
+	}
+	return code, nil
 }

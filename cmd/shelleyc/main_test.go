@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/shelley-go/shelley/internal/server"
 )
 
 func paperFiles() []string {
@@ -198,5 +202,69 @@ func TestRunExplainFlag(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("explanation missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunRemoteBatch round-trips shelleyc's -server/-batch mode
+// against an in-process daemon: clean and failing files in one batch,
+// local-format output, and the 0/1/2 exit-code contract preserved.
+func TestRunRemoteBatch(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	url := "http://" + addr
+
+	base := filepath.Join("..", "..", "testdata")
+	valve := filepath.Join(base, "valve.py")
+	// Remote items are one module per file, so the failing file must be
+	// self-contained: valve.py + badsector.py concatenated.
+	vb, err := os.ReadFile(valve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(filepath.Join(base, "badsector.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "badmodule.py")
+	if err := os.WriteFile(bad, append(vb, bb...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	code, err := run([]string{"-server", url, "-batch", valve, bad}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (findings)\n%s", code, out.String())
+	}
+	for _, want := range []string{"class Valve: OK", "INVALID SUBSYSTEM USAGE"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Single-shot remote mode agrees, and a clean file exits 0.
+	out.Reset()
+	if code, err = run([]string{"-server", url, valve}, &out); err != nil || code != 0 {
+		t.Errorf("clean remote check: (%d, %v)\n%s", code, err, out.String())
+	}
+
+	// A per-item request error is exit 2 and does not abort the batch.
+	out.Reset()
+	if code, err = run([]string{"-server", url, "-batch", "-class", "NoSuchClass", valve}, &out); err != nil || code != 2 {
+		t.Errorf("missing class: (%d, %v)\n%s", code, err, out.String())
+	}
+
+	// -batch without -server is a usage error; so is -nusmv with -server.
+	if code, _ := run([]string{"-batch", valve}, &out); code != 2 {
+		t.Errorf("-batch alone: code %d, want 2", code)
+	}
+	if code, _ := run([]string{"-server", url, "-nusmv", valve}, &out); code != 2 {
+		t.Errorf("-server -nusmv: code %d, want 2", code)
 	}
 }

@@ -8,22 +8,29 @@
 //
 //	shelleyd [-addr HOST:PORT] [-workers N] [-queue N] [-timeout D] ...
 //	shelleyd -selfcheck [-corpus DIR] [-clients N] [-requests N]
+//	shelleyd -selfcheck-batch [-corpus DIR] [-clients N] [-requests N]
 //
 // Serve mode runs until SIGTERM/SIGINT, then drains: new requests are
 // refused while every admitted request completes and is delivered.
 // Selfcheck mode boots an in-process daemon and hammers it with the
 // corpus (every .py under -corpus) from many concurrent clients,
 // cross-checking responses against direct library calls — a one-shot
-// load generator for smoke tests and CI.
+// load generator for smoke tests and CI. Selfcheck-batch is the same
+// idea over the streaming batch endpoint: each client streams
+// whole-corpus /v1/check-batch requests (-requests batches each),
+// honoring Retry-After on admission refusals, and reports items/s with
+// per-batch latency percentiles.
 //
-// Endpoints: POST /v1/check, /v1/infer, /v1/trace; GET /healthz,
-// /metrics. See docs/TUTORIAL.md §9 for a curl quickstart.
+// Endpoints: POST /v1/check, /v1/check-batch, /v1/jobs, /v1/infer,
+// /v1/trace; GET /v1/jobs/{id}, /healthz, /metrics. See
+// docs/TUTORIAL.md §9 and §12 for a curl quickstart.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +76,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	maxModules := fs.Int("max-modules", 256, "resident-module bound")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget on SIGTERM")
 	selfcheck := fs.Bool("selfcheck", false, "boot an in-process daemon, hammer it with the corpus, verify, exit")
+	selfcheckBatch := fs.Bool("selfcheck-batch", false, "boot an in-process daemon, stream corpus batches from concurrent clients, cross-check every record, exit")
 	corpus := fs.String("corpus", "testdata", "selfcheck: directory of .py sources")
 	clients := fs.Int("clients", 16, "selfcheck: concurrent clients")
 	requests := fs.Int("requests", 32, "selfcheck: requests per client")
@@ -111,6 +119,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 
 	if *selfcheck {
 		return runSelfcheck(out, cfg, *corpus, *clients, *requests)
+	}
+	if *selfcheckBatch {
+		return runSelfcheckBatch(out, cfg, *corpus, *clients, *requests)
 	}
 
 	if *pprofAddr != "" {
@@ -314,4 +325,148 @@ func loadCorpus(dir string, limits shelley.Budget) ([]corpusSource, error) {
 		return nil, fmt.Errorf("no loadable .py sources under %s", dir)
 	}
 	return out, nil
+}
+
+// runSelfcheckBatch is the batch-mode load generator: concurrent
+// clients stream whole-corpus /v1/check-batch requests against an
+// in-process daemon, every record is cross-checked against the direct
+// library expectation, and admission refusals are honored by sleeping
+// out the daemon's Retry-After hint — so the run both exercises and
+// demonstrates the backpressure contract. Reports items/s plus
+// per-batch latency percentiles.
+func runSelfcheckBatch(out io.Writer, cfg server.Config, corpusDir string, clients, batches int) (int, error) {
+	limits := cfg.Limits
+	if limits.Unlimited() {
+		limits = shelley.DefaultBudget()
+	}
+	sources, err := loadCorpus(corpusDir, limits)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "selfcheck-batch: %d sources, %d clients × %d batches\n", len(sources), clients, batches)
+
+	srv := server.New(cfg)
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 2, err
+	}
+	ctx := context.Background()
+	if err := client.New("http://" + bound).WaitReady(ctx, 5*time.Second); err != nil {
+		return 2, err
+	}
+
+	var failures, items, retries atomic.Int64
+	latencies := make([][]time.Duration, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bcl := client.New("http://"+bound, client.WithToken(fmt.Sprintf("selfcheck-%d", c)))
+			for i := 0; i < batches; i++ {
+				elapsed, err := runOneBatch(ctx, bcl, sources, c+i, &items, &retries)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(out, "selfcheck-batch: client %d batch %d: %v\n", c, i, err)
+					continue
+				}
+				latencies[c] = append(latencies[c], elapsed)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Fprintf(out, "selfcheck-batch: %d items in %s (%.0f items/s), %d admission retries, batch p50 %s p99 %s\n",
+		items.Load(), wall.Round(time.Millisecond), float64(items.Load())/wall.Seconds(),
+		retries.Load(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return 1, fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintf(out, "selfcheck-batch: %d failures, drained clean\n", failures.Load())
+	if failures.Load() > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runOneBatch streams one whole-corpus batch and cross-checks every
+// record: verified sources must embed the direct library's report
+// bytes, sources the library rejects must come back as non-200 records
+// that leave the rest of the batch untouched. 429/503 refusals sleep
+// out the Retry-After hint and resubmit.
+func runOneBatch(ctx context.Context, bcl *client.Client, sources []corpusSource, rot int, items, retries *atomic.Int64) (time.Duration, error) {
+	req := client.BatchRequest{Items: make([]client.BatchItem, len(sources))}
+	for i := range sources {
+		src := sources[(rot+i)%len(sources)]
+		req.Items[i] = client.BatchItem{ID: src.name, Source: src.source}
+	}
+	start := time.Now()
+	var stream *client.BatchStream
+	for {
+		var err error
+		stream, err = bcl.CheckBatch(ctx, req)
+		if err == nil {
+			break
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Temporary() {
+			retries.Add(1)
+			time.Sleep(apiErr.RetryAfter)
+			continue
+		}
+		return 0, err
+	}
+	defer stream.Close()
+	for {
+		rec, err := stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		items.Add(1)
+		src := sources[(rot+rec.Index)%len(sources)]
+		if src.wantErr {
+			if rec.Status == http.StatusOK {
+				return 0, fmt.Errorf("item %s: record OK but direct CheckAll fails", src.name)
+			}
+			continue
+		}
+		if rec.Status != http.StatusOK {
+			return 0, fmt.Errorf("item %s: status %d: %s", src.name, rec.Status, rec.Error)
+		}
+		resp, err := rec.CheckResponse()
+		if err != nil {
+			return 0, err
+		}
+		got, err := json.Marshal(resp.Reports)
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(got, src.wantRep) {
+			return 0, fmt.Errorf("item %s: reports differ from direct library call:\nserver: %s\ndirect: %s", src.name, got, src.wantRep)
+		}
+	}
+	if sum := stream.Summary(); sum == nil || sum.Error != "" {
+		return 0, fmt.Errorf("batch did not complete clean: %+v", sum)
+	}
+	return time.Since(start), nil
 }

@@ -133,3 +133,27 @@ func TestRunUsageErrors(t *testing.T) {
 		t.Errorf("bad corpus: (%d, %v), want code 2 and error", code, err)
 	}
 }
+
+// TestRunSelfcheckBatch exercises the batch-mode load generator end to
+// end: every streamed record is cross-checked against the direct
+// library, so a pass is a whole-corpus wire-consistency proof.
+func TestRunSelfcheckBatch(t *testing.T) {
+	out := &syncBuffer{}
+	code, err := run([]string{
+		"-selfcheck-batch",
+		"-corpus", filepath.Join("..", "..", "testdata"),
+		"-clients", "4", "-requests", "3",
+	}, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("selfcheck-batch exit = %d\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"0 failures", "drained clean", "items/s", "batch p50"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("selfcheck-batch output missing %q:\n%s", want, text)
+		}
+	}
+}

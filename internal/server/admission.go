@@ -1,0 +1,101 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// admission is the per-client fairness gate in front of the batch
+// machinery. The worker pool bounds total concurrency; admission
+// bounds who gets to occupy it: every batch (sync stream or async job)
+// is admitted or refused as a whole, charged against its client's
+// in-flight item count, so one noisy client replaying thousand-item
+// batches saturates its own share and starts drawing 429s while other
+// clients' batches keep flowing into the pool untouched.
+//
+// Clients are keyed by the X-Shelley-Client token when they send one,
+// falling back to the remote host — tokens let fleets behind one NAT
+// or proxy get separate shares, and let one logical tenant spread over
+// many connections share a single budget.
+type admission struct {
+	mu       sync.Mutex
+	inflight map[string]int
+	total    int
+
+	// maxClient bounds one client's in-flight items (429 beyond);
+	// maxTotal bounds everyone's (503 beyond — the daemon itself is
+	// the bottleneck, not this client).
+	maxClient int
+	maxTotal  int
+
+	rnd *rand.Rand
+	met *metrics
+}
+
+func newAdmission(maxClient, maxTotal int, met *metrics) *admission {
+	return &admission{
+		inflight:  make(map[string]int),
+		maxClient: maxClient,
+		maxTotal:  maxTotal,
+		rnd:       rand.New(rand.NewSource(rand.Int63())),
+		met:       met,
+	}
+}
+
+// admit charges n items to key. On success it returns release (call
+// exactly once, after the batch's last record) and status 0. On
+// refusal it returns the status to answer (429 per-client, 503
+// global) and a jittered Retry-After hint in seconds.
+func (a *admission) admit(key string, n int) (release func(), status, retryAfter int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total+n > a.maxTotal {
+		a.met.batchRejected.Add(1)
+		return nil, http.StatusServiceUnavailable, a.backoffLocked(2)
+	}
+	if a.inflight[key]+n > a.maxClient {
+		a.met.batchRejected.Add(1)
+		return nil, http.StatusTooManyRequests, a.backoffLocked(1)
+	}
+	a.inflight[key] += n
+	a.total += n
+	a.met.batchInflightItems.Add(int64(n))
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight[key] -= n
+			if a.inflight[key] <= 0 {
+				delete(a.inflight, key)
+			}
+			a.total -= n
+			a.mu.Unlock()
+			a.met.batchInflightItems.Add(-int64(n))
+		})
+	}, 0, 0
+}
+
+// backoffLocked computes a Retry-After hint: base seconds scaled by
+// current occupancy, plus uniform jitter so a fleet of refused clients
+// spreads its retries instead of stampeding back in lockstep.
+func (a *admission) backoffLocked(base int) int {
+	load := 0
+	if a.maxTotal > 0 {
+		load = 2 * a.total / a.maxTotal // 0..2 as the window fills
+	}
+	return base + load + a.rnd.Intn(2*base+1)
+}
+
+// clientKey identifies the requester for admission accounting.
+func clientKey(r *http.Request) string {
+	if tok := r.Header.Get("X-Shelley-Client"); tok != "" {
+		return "token:" + tok
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}

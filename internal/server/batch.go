@@ -1,0 +1,331 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/shelley-go/shelley/client"
+	"github.com/shelley-go/shelley/internal/obs"
+)
+
+// handleCheckBatch is POST /v1/check-batch: many check items in, one
+// NDJSON record per item out, streamed (chunked, flushed per record)
+// in completion order so a CI fleet or editor consumes results as each
+// class finishes instead of after the slowest. Admission control runs
+// before the header is committed: a refused batch is a clean 429/503
+// with a jittered Retry-After. Once the 200 header is flushed the
+// status code is spent, so every later failure — per-item errors, a
+// canceled client, even a daemon drain — is representable only as a
+// record; the terminal Done record is the client's proof the stream
+// ended on purpose rather than on a cut wire.
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) int {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "2")
+		return s.writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+	}
+	var req client.BatchRequest
+	if err := decodeBody(w, r, s.cfg.MaxBatchBytes, &req); err != nil {
+		return s.writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if len(req.Items) == 0 {
+		return s.writeError(w, http.StatusBadRequest, "batch needs at least one item")
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		return s.writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf(
+			"batch of %d exceeds the synchronous window of %d; submit it as an async job via POST /v1/jobs",
+			len(req.Items), s.cfg.MaxBatchItems))
+	}
+	release, status, retryAfter := s.adm.admit(clientKey(r), len(req.Items))
+	if status != 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		msg := "per-client batch share exhausted; retry after backoff"
+		if status == http.StatusServiceUnavailable {
+			msg = "batch window saturated; retry after backoff"
+		}
+		return s.writeError(w, status, msg)
+	}
+	defer release()
+	s.met.batchItems.Add(uint64(len(req.Items)))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	flush()
+	s.runBatch(r.Context(), req.Items, func(rec client.BatchRecord, stall bool) {
+		s.writeRecord(w, rec)
+		if stall {
+			flush()
+		}
+	})
+	return http.StatusOK
+}
+
+// writeRecord emits one NDJSON line with a single Write call, so
+// records from interleaved streams can never corrupt each other's
+// framing. Post-header write failures are counted, not surfaced — the
+// client is gone and its context cancellation is already winding the
+// batch down.
+func (s *Server) writeRecord(w http.ResponseWriter, rec client.BatchRecord) {
+	line, ok := appendRecord(make([]byte, 0, 64+len(rec.Check)+len(rec.Error)+len(rec.ID)), rec)
+	if !ok {
+		var err error
+		line, err = json.Marshal(rec)
+		if err != nil {
+			// Unreachable for well-formed records (Check bytes come
+			// from our own encoder), but a record must never kill the
+			// stream.
+			line, _ = json.Marshal(client.BatchRecord{
+				Index: rec.Index, Status: http.StatusInternalServerError,
+				Error: "encoding record: " + err.Error(),
+			})
+		}
+	}
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		s.met.writeErrors.Add(1)
+	}
+}
+
+// appendRecord is the hot-path encoder of a batch record: it appends
+// the exact bytes json.Marshal(rec) would produce, without running the
+// reflection encoder or re-compacting the embedded Check body (which
+// is already compact — it comes from our own json.Marshal). On a warm
+// stream the record wrapper is most of the encoding work, so this is a
+// direct throughput lever. Returns ok=false — caller falls back to
+// json.Marshal — when a string field needs escaping the fast path does
+// not implement. TestAppendRecordMatchesJSONMarshal pins the
+// byte-for-byte agreement.
+func appendRecord(b []byte, rec client.BatchRecord) ([]byte, bool) {
+	var ok bool
+	b = append(b, `{"index":`...)
+	b = strconv.AppendInt(b, int64(rec.Index), 10)
+	if rec.ID != "" {
+		b = append(b, `,"id":`...)
+		if b, ok = appendJSONString(b, rec.ID); !ok {
+			return nil, false
+		}
+	}
+	if rec.Status != 0 {
+		b = append(b, `,"status":`...)
+		b = strconv.AppendInt(b, int64(rec.Status), 10)
+	}
+	if len(rec.Check) != 0 {
+		b = append(b, `,"check":`...)
+		b = append(b, rec.Check...)
+	}
+	if rec.Error != "" {
+		b = append(b, `,"error":`...)
+		if b, ok = appendJSONString(b, rec.Error); !ok {
+			return nil, false
+		}
+	}
+	if rec.Done {
+		b = append(b, `,"done":true`...)
+	}
+	if rec.Total != 0 {
+		b = append(b, `,"total":`...)
+		b = strconv.AppendInt(b, int64(rec.Total), 10)
+	}
+	if rec.Succeeded != 0 {
+		b = append(b, `,"succeeded":`...)
+		b = strconv.AppendInt(b, int64(rec.Succeeded), 10)
+	}
+	if rec.Failed != 0 {
+		b = append(b, `,"failed":`...)
+		b = strconv.AppendInt(b, int64(rec.Failed), 10)
+	}
+	return append(b, '}'), true
+}
+
+// appendJSONString appends s as a JSON string when it needs no
+// escaping under encoding/json's rules (which also escape <, >, & for
+// HTML safety); ok=false sends the caller to the reflection encoder.
+func appendJSONString(b []byte, s string) ([]byte, bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return nil, false
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"'), true
+}
+
+// runBatch verifies items with bounded pool fan-out, calling emit with
+// one record per item in completion order and finally with the
+// terminal summary record. emit runs on the calling goroutine — for
+// the streaming handler that means each record is on the wire before
+// the next sequential item starts, so a cancellation observed during a
+// write deterministically overtakes every later item. emit's stall
+// flag is true when no further record is already queued — the flush
+// hint: a stalling stream flushes every record immediately, while a
+// burst of back-to-back completions rides one flush, which is most of
+// the batch endpoint's throughput edge over per-class requests. The
+// caller owns ctx: cancellation stops admission of further items
+// (already-launched work resolves through the coalescer for any
+// remaining waiters) and marks the rest canceled.
+func (s *Server) runBatch(ctx context.Context, items []client.BatchItem, emit func(rec client.BatchRecord, stall bool)) {
+	var succeeded, failed int
+	record := func(rec client.BatchRecord, stall bool) {
+		if rec.Status == http.StatusOK {
+			succeeded++
+		} else {
+			failed++
+			s.met.batchItemErrors.Add(1)
+		}
+		emit(rec, stall)
+	}
+	if s.cfg.BatchWindow <= 1 {
+		// Strictly sequential: records are emitted in item order, which
+		// is what pins the wire format byte-for-byte in the golden
+		// tests and keeps single-worker daemons fair. A record is a
+		// stall point unless the next item is an instant body-cache hit
+		// (or this is the last item, whose flush rides the terminal
+		// record) — the stream still flushes before anything that might
+		// pause, but an all-warm batch coalesces into a couple of
+		// writes instead of one syscall per record.
+		for i, it := range items {
+			rec := s.batchItem(ctx, i, it)
+			record(rec, i+1 < len(items) && !s.instantItem(items[i+1]))
+		}
+	} else {
+		// Full buffering means producers never block handing over a
+		// record, and len(recs) is an honest "more already waiting"
+		// signal for the flush hint.
+		recs := make(chan client.BatchRecord, len(items))
+		sem := make(chan struct{}, s.cfg.BatchWindow)
+		var wg sync.WaitGroup
+		for i, it := range items {
+			wg.Add(1)
+			go func(i int, it client.BatchItem) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				recs <- s.batchItem(ctx, i, it)
+			}(i, it)
+		}
+		go func() { wg.Wait(); close(recs) }()
+		for rec := range recs {
+			record(rec, len(recs) == 0)
+		}
+	}
+	term := client.BatchRecord{Done: true, Total: len(items), Succeeded: succeeded, Failed: failed}
+	if err := ctx.Err(); err != nil {
+		s.met.batchCanceled.Add(1)
+		term.Error = "batch canceled: " + err.Error()
+	}
+	emit(term, true)
+}
+
+// instantItem reports whether it will resolve without pausing the
+// stream: a fingerprint-only item whose response body is already
+// memoized on its resident module. Conservative by construction — any
+// item carrying source (hashing, maybe loading) or missing its cache
+// entry counts as slow, so the flush hint errs toward flushing.
+func (s *Server) instantItem(it client.BatchItem) bool {
+	if it.Source != "" || it.Fingerprint == "" {
+		return false
+	}
+	_, ok := s.modules.cachedBody(it.Fingerprint, checkKey(it.Fingerprint, it.Class, it.Precise))
+	return ok
+}
+
+// batchItem verifies one item and returns its record. It mirrors
+// handleCheck's request handling — same validation, same error
+// mapping, same coalescing key, same pooled closure — so a batch item
+// and a single /v1/check of the same work are byte-identical and share
+// one in-flight execution. The one divergence is submission
+// discipline: items block on a full queue (backpressure) instead of
+// shedding.
+func (s *Server) batchItem(ctx context.Context, idx int, it client.BatchItem) client.BatchRecord {
+	rec := client.BatchRecord{Index: idx, ID: it.ID}
+	fail := func(status int, msg string) client.BatchRecord {
+		rec.Status, rec.Error = status, msg
+		return rec
+	}
+	if ctx.Err() != nil {
+		return s.canceledRecord(rec, ctx)
+	}
+	ctx, span := obs.Start(ctx, "batch.item", obs.Int("index", idx))
+	defer span.End()
+	if it.Source == "" && it.Fingerprint == "" {
+		return fail(http.StatusBadRequest, "item needs source or fingerprint")
+	}
+	fp := it.Fingerprint
+	if it.Source != "" {
+		if int64(len(it.Source)) > s.cfg.MaxSourceBytes {
+			return fail(http.StatusRequestEntityTooLarge, "item source exceeds the per-source byte limit")
+		}
+		computed := client.Fingerprint(it.Source)
+		if fp != "" && fp != computed {
+			return fail(http.StatusBadRequest, "fingerprint does not match source")
+		}
+		fp = computed
+	}
+	mod, err := s.modules.get(ctx, fp, it.Source)
+	switch {
+	case errors.Is(err, errNotResident):
+		return fail(http.StatusNotFound, "module "+fp+" not resident; re-POST its source")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.met.timeoutWait.Add(1)
+		return s.canceledRecord(rec, ctx)
+	case err != nil:
+		return fail(http.StatusUnprocessableEntity, err.Error())
+	}
+	if it.Class != "" {
+		if _, ok := mod.Class(it.Class); !ok {
+			return fail(http.StatusNotFound, "class "+it.Class+" not found")
+		}
+	}
+	key := checkKey(fp, it.Class, it.Precise)
+	if body, ok := s.modules.cachedBody(fp, key); ok {
+		// Same fast path as handleCheck: a memoized success is the
+		// pooled path's exact bytes, served without a pool round-trip.
+		s.met.bodyCacheHits.Add(1)
+		rec.Status = http.StatusOK
+		rec.Check = json.RawMessage(body)
+		return rec
+	}
+	c, _ := s.launch(ctx, key, true, s.checkFn(mod, fp, it.Class, it.Precise))
+	select {
+	case <-c.done:
+		rec.Status = c.status
+		if c.status == http.StatusOK {
+			rec.Check = json.RawMessage(c.body)
+			return rec
+		}
+		var e client.ErrorResponse
+		if json.Unmarshal(c.body, &e) == nil && e.Error != "" {
+			rec.Error = e.Error
+		} else {
+			rec.Error = string(c.body)
+		}
+		return rec
+	case <-ctx.Done():
+		// This item's stream went away; the shared computation
+		// continues for any coalesced waiters.
+		s.met.timeoutWait.Add(1)
+		return s.canceledRecord(rec, ctx)
+	}
+}
+
+// canceledRecord fills rec for an item overtaken by its stream's end:
+// 499 (client closed request) for cancellation, 504 for a deadline.
+func (s *Server) canceledRecord(rec client.BatchRecord, ctx context.Context) client.BatchRecord {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		rec.Status = http.StatusGatewayTimeout
+		rec.Error = "deadline exceeded before this item completed"
+	} else {
+		rec.Status = 499 // client closed request (nginx convention)
+		rec.Error = "client canceled before this item completed"
+	}
+	return rec
+}

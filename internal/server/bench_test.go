@@ -139,6 +139,77 @@ func BenchmarkServerCheckWarmInprocTraced(b *testing.B) {
 	benchCheckWarmInproc(b, Config{RequestTimeout: 60 * time.Second, Tracing: true})
 }
 
+// benchWarm64 boots a daemon with 64 distinct resident modules and
+// returns a client plus their fingerprints — the shared fixture of the
+// batch-vs-singles pair recorded as EXPERIMENTS.md P4. BatchWindow is
+// pinned to the production default for a multicore daemon (window =
+// workers, here 8) rather than left to GOMAXPROCS, so the batch side
+// exercises the fan-out + burst-flush path even on a 1-CPU runner;
+// both sides of the pair share this one server config.
+func benchWarm64(b *testing.B) (*client.Client, []string) {
+	b.Helper()
+	cl := benchServerCfg(b, Config{RequestTimeout: 60 * time.Second, BatchWindow: benchBatchWindow})
+	ctx := context.Background()
+	fps := make([]string, 64)
+	for i := range fps {
+		src := syntheticSource(1, fmt.Sprintf("p4x%d", i))
+		if _, err := cl.Check(ctx, client.CheckRequest{Source: src}); err != nil {
+			b.Fatal(err)
+		}
+		fps[i] = client.Fingerprint(src)
+	}
+	return cl, fps
+}
+
+// BenchmarkServerCheckBatch64Warm is one 64-class batch per iteration:
+// a single HTTP request whose 64 records stream back over one
+// connection. Compare per-op time against BenchmarkServerCheck64
+// SinglesWarm — the warm path is wire-dominated (P2), so folding 64
+// round trips into one stream is where batch throughput comes from.
+func BenchmarkServerCheckBatch64Warm(b *testing.B) {
+	cl, fps := benchWarm64(b)
+	ctx := context.Background()
+	items := make([]client.BatchItem, len(fps))
+	for i, fp := range fps {
+		items[i] = client.BatchItem{Fingerprint: fp}
+	}
+	req := client.BatchRequest{Items: items}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream, err := cl.CheckBatch(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records, err := stream.Collect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum := stream.Summary(); len(records) != 64 || sum.Succeeded != 64 {
+			b.Fatalf("records=%d summary=%+v", len(records), sum)
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkServerCheck64SinglesWarm is the same 64 warm verifications
+// as 64 sequential /v1/check requests — the round-trip-per-class
+// baseline the batch endpoint replaces.
+func BenchmarkServerCheck64SinglesWarm(b *testing.B) {
+	cl, fps := benchWarm64(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fp := range fps {
+			if _, err := cl.Check(ctx, client.CheckRequest{Fingerprint: fp}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "items/s")
+}
+
 // BenchmarkServerCheckCoalesced measures identical requests raced from
 // many goroutines, where in-flight coalescing and the resident module
 // collapse the work; per-op cost is one shared execution fanned out.
@@ -164,3 +235,8 @@ func BenchmarkServerCheckCoalesced(b *testing.B) {
 		b.Fatal("requests failed under parallel load")
 	}
 }
+
+// benchBatchWindow parameterizes the P4 fixture's fan-out width so the
+// window sweep in EXPERIMENTS.md P4 can be reproduced by editing one
+// value; see benchWarm64 for why it is pinned rather than defaulted.
+var benchBatchWindow = 1

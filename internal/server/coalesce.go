@@ -74,6 +74,15 @@ type moduleEntry struct {
 	ready chan struct{}
 	mod   *shelley.Module
 	err   error
+
+	// bodies memoizes settled 200 response bodies by check key. A
+	// module is content-addressed and immutable, so a verified response
+	// for (fingerprint, class, precise) can never change — warm repeats
+	// are served from here without a pool round-trip. Only successes
+	// are stored: errors (budget, timeout, panic) must recompute, per
+	// the PR 5 rule that transient failures are never made sticky. The
+	// map's lifetime is the entry's, so module eviction reclaims it.
+	bodies sync.Map // check key → []byte
 }
 
 // moduleCache keeps loaded modules (and their warm pipeline caches)
@@ -155,6 +164,49 @@ func (mc *moduleCache) evictLocked(keep string) {
 		default:
 			// Still loading; a follower may be blocked on ready.
 		}
+	}
+}
+
+// settled returns fp's entry when it is resident and loaded, else nil.
+// It never blocks on a loading entry — body-cache lookups are an
+// opportunistic fast path, not a synchronization point.
+func (mc *moduleCache) settled(fp string) *moduleEntry {
+	mc.mu.Lock()
+	e := mc.entries[fp]
+	mc.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil
+	}
+	if e.err != nil {
+		return nil
+	}
+	return e
+}
+
+// cachedBody returns the memoized 200 body for key on a settled
+// resident module.
+func (mc *moduleCache) cachedBody(fp, key string) ([]byte, bool) {
+	e := mc.settled(fp)
+	if e == nil {
+		return nil, false
+	}
+	v, ok := e.bodies.Load(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
+}
+
+// storeBody memoizes a settled 200 body for key. A no-op when the
+// module was evicted while its check ran — the body dies with it.
+func (mc *moduleCache) storeBody(fp, key string, body []byte) {
+	if e := mc.settled(fp); e != nil {
+		e.bodies.Store(key, body)
 	}
 }
 

@@ -32,6 +32,10 @@ type metrics struct {
 	moduleHits   atomic.Uint64
 	moduleMisses atomic.Uint64
 
+	// bodyCacheHits counts check requests answered from a resident
+	// module's memoized response body, skipping the worker pool.
+	bodyCacheHits atomic.Uint64
+
 	// moduleEvictions counts resident modules dropped to stay under
 	// MaxModules.
 	moduleEvictions atomic.Uint64
@@ -61,6 +65,39 @@ type metrics struct {
 	// budgetExceeded counts requests answered with a structured
 	// resource-budget error instead of unbounded work.
 	budgetExceeded atomic.Uint64
+
+	// batchItems counts batch items admitted (sync streams and jobs);
+	// batchItemErrors the subset that finished with a non-200 record.
+	batchItems      atomic.Uint64
+	batchItemErrors atomic.Uint64
+
+	// batchRejected counts whole batches refused by admission control
+	// (429 per-client share, 503 global window), before any work ran.
+	batchRejected atomic.Uint64
+
+	// batchCanceled counts batch streams abandoned by their client
+	// mid-flight (remaining items answered with canceled records).
+	batchCanceled atomic.Uint64
+
+	// batchInflightItems is the live gauge of batch items admitted but
+	// not yet recorded — the quantity admission control bounds.
+	batchInflightItems atomic.Int64
+
+	// batchBackpressure counts batch submissions that found the pool
+	// queue full and blocked (instead of shedding 503 like single
+	// requests) — the stream stalls until a worker frees a slot.
+	batchBackpressure atomic.Uint64
+
+	// jobsSubmitted counts accepted async jobs; jobsActive is the live
+	// gauge of jobs still running.
+	jobsSubmitted atomic.Uint64
+	jobsActive    atomic.Int64
+
+	// writeErrors counts response-body writes that failed after the
+	// status line was committed — the only footprint a mid-stream
+	// client disconnect can leave, since a flushed response's status
+	// code is immutable.
+	writeErrors atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -140,6 +177,7 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
 	}
 	counter("shelleyd_coalesced_total", "Requests served by piggybacking on an identical in-flight request.", m.coalesced.Load())
 	counter("shelleyd_module_cache_hits_total", "Requests served by an already-resident module.", m.moduleHits.Load())
+	counter("shelleyd_check_body_cache_hits_total", "Check requests answered from a resident module's memoized response body.", m.bodyCacheHits.Load())
 	counter("shelleyd_module_cache_misses_total", "Module loads (source parsed and modeled).", m.moduleMisses.Load())
 	counter("shelleyd_module_cache_evictions_total", "Resident modules evicted to respect MaxModules.", m.moduleEvictions.Load())
 	counter("shelleyd_timeouts_queue_total", "Jobs that expired before a worker picked them up.", m.timeoutQueue.Load())
@@ -147,6 +185,15 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
 	counter("shelleyd_saturated_total", "Submissions rejected with 503 (queue full or draining).", m.saturated.Load())
 	counter("shelley_panics_total", "Verification panics contained at the worker boundary (answered 500).", m.panics.Load())
 	counter("shelley_budget_exceeded_total", "Requests answered with a structured resource-budget error.", m.budgetExceeded.Load())
+	counter("shelleyd_batch_items_total", "Batch items admitted across /v1/check-batch streams and async jobs.", m.batchItems.Load())
+	counter("shelleyd_batch_item_errors_total", "Batch items that finished with a non-200 record.", m.batchItemErrors.Load())
+	counter("shelleyd_batch_admission_rejected_total", "Whole batches refused by admission control (429/503 with Retry-After).", m.batchRejected.Load())
+	counter("shelleyd_batch_streams_canceled_total", "Batch streams abandoned by their client mid-flight.", m.batchCanceled.Load())
+	counter("shelleyd_batch_backpressure_total", "Batch submissions that blocked on a full pool queue instead of shedding.", m.batchBackpressure.Load())
+	counter("shelleyd_jobs_total", "Async verification jobs accepted via POST /v1/jobs.", m.jobsSubmitted.Load())
+	counter("shelleyd_response_write_errors_total", "Response writes that failed after the status was committed (client gone).", m.writeErrors.Load())
+	gauge("shelleyd_batch_inflight_items", "Batch items admitted but not yet recorded.", m.batchInflightItems.Load())
+	gauge("shelleyd_jobs_active", "Async jobs still running.", m.jobsActive.Load())
 	gauge("shelleyd_queue_depth", "Jobs waiting for a worker.", m.queueDepth.Load())
 	gauge("shelleyd_workers_busy", "Workers currently executing a job.", m.workersBusy.Load())
 	gauge("shelleyd_inflight_requests", "Requests currently inside a handler.", m.inflight.Load())

@@ -106,6 +106,33 @@ func (p *pool) submit(j job) error {
 	}
 }
 
+// submitCtx enqueues a job with backpressure: when the queue is full
+// it blocks until a worker frees a slot or ctx ends, instead of
+// shedding like submit. This is the batch path — a batch was admitted
+// as a whole, so its items stall the stream rather than fail, and the
+// stall propagates to the client as a paused NDJSON stream (TCP
+// backpressure) instead of a retry storm. It deliberately does not
+// check draining: batch items are continuations of already-admitted
+// work, and the queue stays open until every submitter (HTTP handler
+// or job goroutine) has returned, so a send can never hit a closed
+// channel.
+func (p *pool) submitCtx(ctx context.Context, j job) error {
+	select {
+	case p.jobs <- j:
+		p.met.queueDepth.Add(1)
+		return nil
+	default:
+	}
+	p.met.batchBackpressure.Add(1)
+	select {
+	case p.jobs <- j:
+		p.met.queueDepth.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // drain stops admissions; already-queued and running jobs finish.
 func (p *pool) drain() { p.draining.Store(true) }
 

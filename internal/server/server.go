@@ -7,11 +7,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/check   full per-class verification reports
-//	POST /v1/infer   per-operation behavior regexes (§3.2)
-//	POST /v1/trace   trace membership / flattened replay
-//	GET  /healthz    liveness (503 while draining)
-//	GET  /metrics    Prometheus-style text exposition
+//	POST /v1/check        full per-class verification reports
+//	POST /v1/infer        per-operation behavior regexes (§3.2)
+//	POST /v1/trace        trace membership / flattened replay
+//	POST /v1/check-batch  many items, NDJSON streamed as each finishes
+//	POST /v1/jobs         async batch; GET /v1/jobs/{id} polls/streams
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         Prometheus-style text exposition
 //
 // Request bodies carry MicroPython source, or a fingerprint of a
 // source POSTed earlier for a cache-only re-check. Wire types live in
@@ -82,6 +84,44 @@ type Config struct {
 	// TraceRingSize caps the span ring; 0 means 4096.
 	TraceRingSize int
 
+	// MaxBatchItems bounds the items of one synchronous
+	// /v1/check-batch request; larger batches are refused with 413
+	// pointing at the async job mode. 0 means 256.
+	MaxBatchItems int
+
+	// MaxJobItems bounds the items of one async job (POST /v1/jobs).
+	// 0 means 4096.
+	MaxJobItems int
+
+	// MaxJobs bounds retained jobs, running and completed; completed
+	// jobs are evicted oldest-first to admit new ones. 0 means 64.
+	MaxJobs int
+
+	// MaxClientItems bounds one client's in-flight batch items across
+	// all its concurrent batch streams and jobs; beyond it the whole
+	// batch is refused with 429 and a jittered Retry-After, so one
+	// noisy client exhausts its own share instead of the pool. Clients
+	// are keyed by the X-Shelley-Client token, falling back to the
+	// remote host. 0 means 2×MaxBatchItems.
+	MaxClientItems int
+
+	// MaxBatchInflight bounds in-flight batch items across every
+	// client (503 beyond — the daemon, not the client, is the
+	// bottleneck). 0 means 4×MaxBatchItems.
+	MaxBatchInflight int
+
+	// BatchWindow bounds how many of one batch's items may occupy the
+	// worker pool at once. Batch items submit with backpressure — a
+	// full queue stalls the stream instead of shedding — so the window
+	// is what keeps one batch from monopolizing the queue. 1 processes
+	// items strictly in request order (deterministic record order).
+	// 0 means Workers.
+	BatchWindow int
+
+	// MaxBatchBytes bounds /v1/check-batch and /v1/jobs request
+	// bodies. 0 means 4×MaxSourceBytes.
+	MaxBatchBytes int64
+
 	// Limits is the per-request resource budget attached to every
 	// pooled job's context: it bounds automata states, regex sizes, and
 	// counterexample-search nodes so a pathological request returns a
@@ -121,6 +161,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxModules <= 0 {
 		c.MaxModules = 256
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.MaxJobItems <= 0 {
+		c.MaxJobItems = 4096
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
+	if c.MaxClientItems <= 0 {
+		c.MaxClientItems = 2 * c.MaxBatchItems
+	}
+	if c.MaxBatchInflight <= 0 {
+		c.MaxBatchInflight = 4 * c.MaxBatchItems
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = c.Workers
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 4 * c.MaxSourceBytes
+	}
 	if c.Limits.Unlimited() {
 		c.Limits = budget.Default()
 	}
@@ -137,7 +198,16 @@ type Server struct {
 	pool     *pool
 	met      *metrics
 	mux      *http.ServeMux
+	adm      *admission
+	jobs     *jobStore
 	draining atomic.Bool
+
+	// jobsWG tracks async job runner goroutines; jobsCtx is their base
+	// context, canceled only when the drain budget expires so admitted
+	// jobs normally run to completion through a drain.
+	jobsWG     sync.WaitGroup
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
 
 	// tracer and ring are non-nil iff Config.Tracing; logger is
 	// Config.Logger verbatim (nil = quiet).
@@ -165,9 +235,12 @@ func New(cfg Config) *Server {
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, met, cfg.jobHook),
 		met:        met,
 		mux:        http.NewServeMux(),
+		adm:        newAdmission(cfg.MaxClientItems, cfg.MaxBatchInflight, met),
+		jobs:       newJobStore(cfg.MaxJobs),
 		poolClosed: make(chan struct{}),
 		logger:     cfg.Logger,
 	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	if cfg.Tracing {
 		size := cfg.TraceRingSize
 		if size <= 0 {
@@ -179,6 +252,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
 	s.mux.HandleFunc("POST /v1/infer", s.instrument("infer", s.handleInfer))
 	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
+	s.mux.HandleFunc("POST /v1/check-batch", s.instrument("check-batch", s.handleCheckBatch))
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job-get", s.handleJobGet))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/trace-export", s.handleTraceExport)
@@ -240,8 +316,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// jobs — so no accepted request is dropped mid-drain.
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	// All handlers have returned (or ctx expired): no submitter is
-	// left, so the queue can close and workers join.
+	// Async jobs are admitted work too: wait for their runner
+	// goroutines, canceling them only when the drain budget expires
+	// (cancellation unblocks pending submissions and waiters promptly,
+	// recording the remaining items as canceled).
+	jobsDone := make(chan struct{})
+	go func() { s.jobsWG.Wait(); close(jobsDone) }()
+	select {
+	case <-jobsDone:
+	case <-ctx.Done():
+		s.jobsCancel()
+		<-jobsDone
+	}
+	// All handlers and job runners have returned (or were canceled):
+	// no submitter is left, so the queue can close and workers join.
 	s.closeOnce.Do(func() {
 		go func() { s.pool.close(); close(s.poolClosed) }()
 	})
@@ -303,19 +391,28 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 	}
 }
 
-// writeError emits the uniform error body.
-func writeError(w http.ResponseWriter, status int, msg string) int {
+// writeError emits the uniform error body. A failed write is counted
+// rather than surfaced: once WriteHeader has run the status is
+// committed, so a mid-body disconnect can only truncate the response —
+// the shelleyd_response_write_errors_total counter is the audit trail
+// that it happened.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(client.ErrorResponse{Error: msg})
+	if err := json.NewEncoder(w).Encode(client.ErrorResponse{Error: msg}); err != nil {
+		s.met.writeErrors.Add(1)
+	}
 	return status
 }
 
-// writeRaw replays a coalesced call's byte-exact response.
-func writeRaw(w http.ResponseWriter, status int, body []byte) int {
+// writeRaw replays a coalesced call's byte-exact response. Write
+// failures are counted like writeError's.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		s.met.writeErrors.Add(1)
+	}
 	return status
 }
 
@@ -325,101 +422,125 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) int {
 // fingerprint 404, unloadable source 422.
 func (s *Server) resolveModule(w http.ResponseWriter, r *http.Request, source, fp string) (*shelley.Module, string, int) {
 	if source == "" && fp == "" {
-		return nil, "", writeError(w, http.StatusBadRequest, "request needs source or fingerprint")
+		return nil, "", s.writeError(w, http.StatusBadRequest, "request needs source or fingerprint")
 	}
 	if source != "" {
 		computed := client.Fingerprint(source)
 		if fp != "" && fp != computed {
-			return nil, "", writeError(w, http.StatusBadRequest, "fingerprint does not match source")
+			return nil, "", s.writeError(w, http.StatusBadRequest, "fingerprint does not match source")
 		}
 		fp = computed
 	}
 	mod, err := s.modules.get(r.Context(), fp, source)
 	switch {
 	case errors.Is(err, errNotResident):
-		return nil, "", writeError(w, http.StatusNotFound, "module "+fp+" not resident; re-POST its source")
+		return nil, "", s.writeError(w, http.StatusNotFound, "module "+fp+" not resident; re-POST its source")
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.met.timeoutWait.Add(1)
-		return nil, "", writeError(w, http.StatusGatewayTimeout, "module load wait: "+err.Error())
+		return nil, "", s.writeError(w, http.StatusGatewayTimeout, "module load wait: "+err.Error())
 	case err != nil:
-		return nil, "", writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return nil, "", s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 	}
 	return mod, fp, 0
 }
 
-// execute runs fn through coalescing and the worker pool, answering
-// with the shared byte-exact response. key must canonically encode the
-// endpoint and every request parameter that affects the response.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) (int, []byte)) int {
+// launch routes fn through coalescing and the worker pool, returning
+// the call whose done channel publishes the shared byte-exact
+// response. key must canonically encode the endpoint and every request
+// parameter that affects the response — single-shot and batch requests
+// use the same keys, so a batch item coalesces with an identical
+// in-flight /v1/check and vice versa. block selects the submission
+// discipline: single-shot requests shed load (a full queue resolves
+// 503 immediately), batch items exert backpressure (the submission
+// blocks until a worker frees a slot or rctx ends).
+func (s *Server) launch(rctx context.Context, key string, block bool, fn func(ctx context.Context) (int, []byte)) (c *call, coalesced bool) {
 	c, leader := s.co.get(key)
-	if leader {
-		// Pooled jobs run under the pool's deadline context, not the
-		// request's; the carrier re-attaches the leader's tracer and
-		// root span so the work still nests under the request trace.
-		carrier := obs.Carry(r.Context())
-		j := job{
-			deadline: time.Now().Add(s.cfg.RequestTimeout),
-			run: func(ctx context.Context) {
-				// A panic anywhere in the verification pipeline must not
-				// kill the daemon or strand the coalesced waiters: it is
-				// contained here, counted, and answered as a 500. The
-				// coalescer entry is forgotten first so a retry of the
-				// same key computes fresh instead of waiting forever.
-				defer func() {
-					if rec := recover(); rec != nil {
-						s.met.panics.Add(1)
-						s.co.forget(key)
-						body, _ := json.Marshal(client.ErrorResponse{
-							Error: fmt.Sprintf("internal error: verification panicked: %v", rec),
-						})
-						c.resolve(http.StatusInternalServerError, body)
-					}
-				}()
-				if s.cfg.runHook != nil {
-					s.cfg.runHook()
-				}
-				// Every pooled job runs under the configured resource
-				// budget; pipeline constructions read it from the context.
-				status, body := fn(budget.With(carrier.Context(ctx), s.cfg.Limits))
-				s.co.forget(key)
-				c.resolve(status, body)
-			},
-			expired: func() {
-				s.co.forget(key)
-				body, _ := json.Marshal(client.ErrorResponse{Error: "request expired in queue"})
-				c.resolve(http.StatusGatewayTimeout, body)
-			},
-		}
-		if err := s.pool.submit(j); err != nil {
-			s.co.forget(key)
-			msg := "queue saturated; retry later"
-			if errors.Is(err, errDraining) {
-				msg = "daemon is draining"
-			}
-			body, _ := json.Marshal(client.ErrorResponse{Error: msg})
-			c.resolve(http.StatusServiceUnavailable, body)
-		}
-	} else {
+	if !leader {
 		s.met.coalesced.Add(1)
+		return c, true
+	}
+	// Pooled jobs run under the pool's deadline context, not the
+	// request's; the carrier re-attaches the leader's tracer and
+	// root span so the work still nests under the request trace.
+	carrier := obs.Carry(rctx)
+	j := job{
+		deadline: time.Now().Add(s.cfg.RequestTimeout),
+		run: func(ctx context.Context) {
+			// A panic anywhere in the verification pipeline must not
+			// kill the daemon or strand the coalesced waiters: it is
+			// contained here, counted, and answered as a 500. The
+			// coalescer entry is forgotten first so a retry of the
+			// same key computes fresh instead of waiting forever.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.met.panics.Add(1)
+					s.co.forget(key)
+					body, _ := json.Marshal(client.ErrorResponse{
+						Error: fmt.Sprintf("internal error: verification panicked: %v", rec),
+					})
+					c.resolve(http.StatusInternalServerError, body)
+				}
+			}()
+			if s.cfg.runHook != nil {
+				s.cfg.runHook()
+			}
+			// Every pooled job runs under the configured resource
+			// budget; pipeline constructions read it from the context.
+			status, body := fn(budget.With(carrier.Context(ctx), s.cfg.Limits))
+			s.co.forget(key)
+			c.resolve(status, body)
+		},
+		expired: func() {
+			s.co.forget(key)
+			body, _ := json.Marshal(client.ErrorResponse{Error: "request expired in queue"})
+			c.resolve(http.StatusGatewayTimeout, body)
+		},
+	}
+	var err error
+	if block {
+		err = s.pool.submitCtx(rctx, j)
+	} else {
+		err = s.pool.submit(j)
+	}
+	if err != nil {
+		s.co.forget(key)
+		msg := "queue saturated; retry later"
+		switch {
+		case errors.Is(err, errDraining):
+			msg = "daemon is draining"
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			msg = "request ended before submission: " + err.Error()
+		}
+		body, _ := json.Marshal(client.ErrorResponse{Error: msg})
+		c.resolve(http.StatusServiceUnavailable, body)
+	}
+	return c, false
+}
+
+// execute is the single-shot request path over launch: wait for the
+// shared response and replay it to this waiter.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) (int, []byte)) int {
+	c, coalesced := s.launch(r.Context(), key, false, fn)
+	if coalesced {
 		if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
 			info.coalesced.Store(true)
 		}
 	}
 	select {
 	case <-c.done:
-		return writeRaw(w, c.status, c.body)
+		return s.writeRaw(w, c.status, c.body)
 	case <-r.Context().Done():
 		// This waiter's client went away (or its own deadline passed);
 		// the shared computation continues for the others.
 		s.met.timeoutWait.Add(1)
-		return writeError(w, http.StatusGatewayTimeout, "request context ended: "+r.Context().Err().Error())
+		return s.writeError(w, http.StatusGatewayTimeout, "request context ended: "+r.Context().Err().Error())
 	}
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 	var req client.CheckRequest
 	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return s.writeError(w, http.StatusBadRequest, err.Error())
 	}
 	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
 	if mod == nil {
@@ -427,17 +548,38 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 	}
 	if req.Class != "" {
 		if _, ok := mod.Class(req.Class); !ok {
-			return writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
+			return s.writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
 		}
 	}
-	key := strings.Join([]string{"check", fp, req.Class, fmt.Sprint(req.Precise)}, "\x00")
-	return s.execute(w, r, key, func(ctx context.Context) (int, []byte) {
+	key := checkKey(fp, req.Class, req.Precise)
+	if body, ok := s.modules.cachedBody(fp, key); ok {
+		// A memoized success is byte-identical to the pooled path's
+		// response (it IS that path's bytes) and needs no scheduling,
+		// budget, or coalescing — answer in the handler goroutine.
+		s.met.bodyCacheHits.Add(1)
+		return s.writeRaw(w, http.StatusOK, body)
+	}
+	return s.execute(w, r, key, s.checkFn(mod, fp, req.Class, req.Precise))
+}
+
+// checkKey is the canonical coalescing key of a check: shared by
+// /v1/check and every batch item, so identical work in flight anywhere
+// collapses to one execution.
+func checkKey(fp, class string, precise bool) string {
+	return strings.Join([]string{"check", fp, class, fmt.Sprint(precise)}, "\x00")
+}
+
+// checkFn builds the pooled verification closure for one (module,
+// class, precise) triple; its byte output is what /v1/check responds
+// and what a batch record embeds.
+func (s *Server) checkFn(mod *shelley.Module, fp, class string, precise bool) func(ctx context.Context) (int, []byte) {
+	return func(ctx context.Context) (int, []byte) {
 		var reports []*shelley.Report
 		var err error
-		if req.Class != "" {
-			cls, _ := mod.Class(req.Class)
+		if class != "" {
+			cls, _ := mod.Class(class)
 			var opts []check.Option
-			if req.Precise {
+			if precise {
 				opts = append(opts, check.Precise())
 			}
 			var rep *shelley.Report
@@ -445,7 +587,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 			if rep != nil {
 				reports = []*shelley.Report{rep}
 			}
-		} else if req.Precise {
+		} else if precise {
 			reports, err = checkAllPrecise(ctx, mod)
 		} else {
 			reports, err = mod.CheckAllContext(ctx, s.cfg.CheckWorkers)
@@ -457,8 +599,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 		for _, rep := range reports {
 			ok = ok && rep.OK()
 		}
-		return jsonBody(client.CheckResponse{Fingerprint: fp, OK: ok, Reports: reports})
-	})
+		status, body := jsonBody(client.CheckResponse{Fingerprint: fp, OK: ok, Reports: reports})
+		if status == http.StatusOK {
+			// Memoize the settled success so warm repeats skip the pool
+			// entirely (see moduleEntry.bodies). Errors never stick.
+			s.modules.storeBody(fp, checkKey(fp, class, precise), body)
+		}
+		return status, body
+	}
 }
 
 // checkErrorBody maps a verification error to its response: budget
@@ -496,10 +644,10 @@ func checkAllPrecise(ctx context.Context, mod *shelley.Module) ([]*shelley.Repor
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) int {
 	var req client.InferRequest
 	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return s.writeError(w, http.StatusBadRequest, err.Error())
 	}
 	if req.Class == "" {
-		return writeError(w, http.StatusBadRequest, "infer needs a class")
+		return s.writeError(w, http.StatusBadRequest, "infer needs a class")
 	}
 	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
 	if mod == nil {
@@ -507,7 +655,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) int {
 	}
 	cls, ok := mod.Class(req.Class)
 	if !ok {
-		return writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
+		return s.writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
 	}
 	key := strings.Join([]string{"infer", fp, req.Class, req.Operation}, "\x00")
 	return s.execute(w, r, key, func(ctx context.Context) (int, []byte) {
@@ -539,10 +687,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) int {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) int {
 	var req client.TraceRequest
 	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return s.writeError(w, http.StatusBadRequest, err.Error())
 	}
 	if req.Class == "" {
-		return writeError(w, http.StatusBadRequest, "trace needs a class")
+		return s.writeError(w, http.StatusBadRequest, "trace needs a class")
 	}
 	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
 	if mod == nil {
@@ -550,7 +698,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) int {
 	}
 	cls, ok := mod.Class(req.Class)
 	if !ok {
-		return writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
+		return s.writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
 	}
 	key := strings.Join([]string{"trace", fp, req.Class, fmt.Sprint(req.Replay), strings.Join(req.Trace, "\x01")}, "\x00")
 	return s.execute(w, r, key, func(ctx context.Context) (int, []byte) {
@@ -571,7 +719,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -583,7 +731,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // window into a live daemon's recent work.
 func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 	if s.ring == nil {
-		writeError(w, http.StatusNotFound, "tracing disabled; start shelleyd with -trace or -trace-ring")
+		s.writeError(w, http.StatusNotFound, "tracing disabled; start shelleyd with -trace or -trace-ring")
 		return
 	}
 	spans := s.ring.Snapshot()
@@ -596,7 +744,7 @@ func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		err = obs.WriteOTLP(w, spans)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown trace format "+format+" (want chrome or otlp)")
+		s.writeError(w, http.StatusBadRequest, "unknown trace format "+format+" (want chrome or otlp)")
 		return
 	}
 	if err != nil && s.logger != nil {
