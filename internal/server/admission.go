@@ -11,9 +11,11 @@ import (
 // machinery. The worker pool bounds total concurrency; admission
 // bounds who gets to occupy it: every batch (sync stream or async job)
 // is admitted or refused as a whole, charged against its client's
-// in-flight item count, so one noisy client replaying thousand-item
-// batches saturates its own share and starts drawing 429s while other
-// clients' batches keep flowing into the pool untouched.
+// in-flight share — a sync batch for its full item count, an async job
+// for its peak pool occupancy (see handleJobSubmit) — so one noisy
+// client replaying thousand-item batches saturates its own share and
+// starts drawing 429s while other clients' batches keep flowing into
+// the pool untouched.
 //
 // Clients are keyed by the X-Shelley-Client token when they send one,
 // falling back to the remote host — tokens let fleets behind one NAT

@@ -50,7 +50,24 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, status, msg)
 	}
 	defer release()
+	if !s.addSubmitter() {
+		w.Header().Set("Retry-After", "2")
+		return s.writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+	}
+	defer s.submitters.Done()
 	s.met.batchItems.Add(uint64(len(req.Items)))
+
+	// The stream runs under the request context merged with the
+	// server's drain context: http.Server.Shutdown never cancels
+	// r.Context(), so the drain arm is what unwinds a handler blocked
+	// in a backpressure send when a shutdown budget expires — before
+	// the pool closes its queue. The drain cause is preserved so the
+	// overtaken items' records say the daemon drained, not that the
+	// client hung up.
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stop := context.AfterFunc(s.drainCtx, func() { cancel(context.Cause(s.drainCtx)) })
+	defer stop()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -59,7 +76,7 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) int {
 		flush = f.Flush
 	}
 	flush()
-	s.runBatch(r.Context(), req.Items, func(rec client.BatchRecord, stall bool) {
+	s.runBatch(ctx, req.Items, func(rec client.BatchRecord, stall bool) {
 		s.writeRecord(w, rec)
 		if stall {
 			flush()
@@ -218,9 +235,11 @@ func (s *Server) runBatch(ctx context.Context, items []client.BatchItem, emit fu
 		}
 	}
 	term := client.BatchRecord{Done: true, Total: len(items), Succeeded: succeeded, Failed: failed}
-	if err := ctx.Err(); err != nil {
+	if ctx.Err() != nil {
 		s.met.batchCanceled.Add(1)
-		term.Error = "batch canceled: " + err.Error()
+		// Cause over Err: a drain-expiry cancellation names errDraining
+		// instead of the generic "context canceled".
+		term.Error = "batch canceled: " + context.Cause(ctx).Error()
 	}
 	emit(term, true)
 }
@@ -318,12 +337,17 @@ func (s *Server) batchItem(ctx context.Context, idx int, it client.BatchItem) cl
 }
 
 // canceledRecord fills rec for an item overtaken by its stream's end:
-// 499 (client closed request) for cancellation, 504 for a deadline.
+// 499 (client closed request) for cancellation, 504 for a deadline,
+// 503 when a drain's budget expired first.
 func (s *Server) canceledRecord(rec client.BatchRecord, ctx context.Context) client.BatchRecord {
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
 		rec.Status = http.StatusGatewayTimeout
 		rec.Error = "deadline exceeded before this item completed"
-	} else {
+	case errors.Is(context.Cause(ctx), errDraining):
+		rec.Status = http.StatusServiceUnavailable
+		rec.Error = "daemon drained before this item completed"
+	default:
 		rec.Status = 499 // client closed request (nginx convention)
 		rec.Error = "client canceled before this item completed"
 	}

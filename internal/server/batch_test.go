@@ -566,6 +566,196 @@ func TestBatchClientCancelReleasesGoroutines(t *testing.T) {
 	}
 }
 
+// TestJobLargerThanClientShareAdmits: a job bigger than the per-client
+// item share must still be admitted and run to completion — its
+// admission charge is its peak pool occupancy (min of item count and
+// BatchWindow), not its full item count. The /v1/check-batch 413 path
+// sends exactly such batches to /v1/jobs, so refusing them with a
+// retryable 429 whose Retry-After could never succeed would be a trap.
+func TestJobLargerThanClientShareAdmits(t *testing.T) {
+	// MaxBatchItems 4 → MaxClientItems 8, MaxBatchInflight 16; a
+	// 32-item job exceeds both while staying far under MaxJobItems.
+	srv, cl := startServer(t, Config{Workers: 2, MaxBatchItems: 4})
+	bcl := client.New("http://" + srv.Addr())
+	ctx := context.Background()
+
+	items := make([]client.BatchItem, 32)
+	for i := range items {
+		items[i] = client.BatchItem{ID: fmt.Sprint(i), Source: syntheticSource(1, fmt.Sprintf("BigJob%d", i))}
+	}
+	acc, err := bcl.SubmitJob(ctx, client.BatchRequest{Items: items})
+	if err != nil {
+		t.Fatalf("job larger than the client share was refused: %v", err)
+	}
+	stream, err := bcl.JobStream(ctx, acc.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	records, err := stream.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 32 {
+		t.Fatalf("streamed %d records, want 32", len(records))
+	}
+	if sum := stream.Summary(); !sum.Done || sum.Succeeded != 32 || sum.Failed != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The runner's deferred release ran: the admission charge drains.
+	waitGauge(t, cl, "shelleyd_batch_inflight_items", 0)
+}
+
+// TestShutdownUnblocksBatchBackpressure: a /v1/check-batch handler
+// blocked in a backpressure send must unwind when a drain's budget
+// expires — before the pool closes its queue — answering its remaining
+// items as drain records instead of panicking the daemon with a send
+// on a closed channel (http.Server.Shutdown never cancels request
+// contexts, so only the server's drain context can free it).
+func TestShutdownUnblocksBatchBackpressure(t *testing.T) {
+	var hold atomic.Bool
+	var hooked atomic.Int64
+	release := make(chan struct{})
+	srv, cl := startServer(t, Config{
+		Workers: 1, QueueDepth: 1, BatchWindow: 1, RequestTimeout: 60 * time.Second,
+		jobHook: func() {
+			hooked.Add(1)
+			if hold.Load() {
+				<-release
+			}
+		},
+	})
+	bcl := client.New("http://" + srv.Addr())
+
+	// Pin the single worker at the hook barrier, then fill the one
+	// queue slot, so the batch below genuinely blocks submitting.
+	hold.Store(true)
+	singles := make(chan error, 2)
+	check := func(tag string) {
+		_, err := bcl.Check(context.Background(), client.CheckRequest{Source: syntheticSource(1, tag)})
+		singles <- err
+	}
+	go check("PinWorker")
+	for deadline := time.Now().Add(10 * time.Second); hooked.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reached the hook barrier")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go check("PinQueue")
+	waitGauge(t, cl, "shelleyd_queue_depth", 1)
+
+	type streamResult struct {
+		recs []client.BatchRecord
+		sum  *client.BatchRecord
+		err  error
+	}
+	batchDone := make(chan streamResult, 1)
+	go func() {
+		stream, err := bcl.CheckBatch(context.Background(), client.BatchRequest{Items: []client.BatchItem{
+			{ID: "stuck", Source: syntheticSource(1, "StuckItem")},
+		}})
+		if err != nil {
+			batchDone <- streamResult{err: err}
+			return
+		}
+		recs, err := stream.Collect()
+		batchDone <- streamResult{recs: recs, sum: stream.Summary(), err: err}
+	}()
+	waitMetric(t, cl, "shelleyd_batch_backpressure_total", 1)
+
+	// Drain with an already-expired budget. Pre-fix, this closed the
+	// queue while the batch was parked in its send and panicked.
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- srv.Shutdown(shutCtx) }()
+
+	res := <-batchDone
+	if res.err != nil {
+		t.Fatalf("batch stream: %v", res.err)
+	}
+	if len(res.recs) != 1 || res.recs[0].Status != http.StatusServiceUnavailable {
+		t.Fatalf("overtaken item = %+v, want one 503 drain record", res.recs)
+	}
+	if res.sum == nil || !res.sum.Done || !strings.Contains(res.sum.Error, "draining") {
+		t.Fatalf("terminal record = %+v, want the drain as its cause", res.sum)
+	}
+	if err := <-shutDone; err == nil {
+		t.Fatal("Shutdown with an expired budget should report its context error")
+	}
+
+	// Release the pinned work so the pool can close; both held checks
+	// were admitted before the drain and must still complete.
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-singles; err != nil {
+			t.Errorf("pinned check dropped by drain: %v", err)
+		}
+	}
+}
+
+// TestJobStreamDetachDoesNotCountAsCancel: dropping a ?stream=1 tail
+// cancels nothing — the job keeps running to completion, and the
+// disconnect counts as a detached tailer, not a canceled batch stream.
+func TestJobStreamDetachDoesNotCountAsCancel(t *testing.T) {
+	var hold atomic.Bool
+	release := make(chan struct{})
+	srv, cl := startServer(t, Config{
+		Workers: 1, MaxBatchItems: 1,
+		jobHook: func() {
+			if hold.Load() {
+				<-release
+			}
+		},
+	})
+	bcl := client.New("http://" + srv.Addr())
+	ctx := context.Background()
+
+	hold.Store(true)
+	acc, err := bcl.SubmitJob(ctx, client.BatchRequest{Items: []client.BatchItem{
+		{Source: syntheticSource(1, "TailA")},
+		{Source: syntheticSource(1, "TailB")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach a tail while the job is held, then hang up.
+	tailCtx, cancelTail := context.WithCancel(ctx)
+	stream, err := bcl.JobStream(tailCtx, acc.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelTail()
+	stream.Close()
+	waitMetric(t, cl, "shelleyd_job_stream_detached_total", 1)
+
+	close(release)
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		st, err := bcl.Job(ctx, acc.Job, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			if st.Failed != 0 || st.Completed != 2 {
+				t.Fatalf("job after detached tail = %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished after its tailer detached")
+		}
+	}
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := client.ParseMetric(text, "shelleyd_batch_streams_canceled_total"); ok && v != 0 {
+		t.Fatalf("tailer detach counted as a canceled batch stream (%v)", v)
+	}
+}
+
 // TestAppendRecordMatchesJSONMarshal pins the hot-path record encoder
 // byte-for-byte against encoding/json across every field combination
 // the stream can emit, plus the escaping cases that must punt to the

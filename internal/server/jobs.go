@@ -143,9 +143,9 @@ func (s *jobStore) get(id string) *jobState {
 }
 
 // handleJobSubmit is POST /v1/jobs: the async mode for batches past the
-// synchronous window. The request is validated and admitted exactly
-// like /v1/check-batch (same admission accounting, so a client's jobs
-// and streams share one in-flight budget), answered 202 with a job ID
+// synchronous window. The request is validated like /v1/check-batch and
+// admitted against the same per-client/global budgets (so a client's
+// jobs and streams share one share), answered 202 with a job ID
 // immediately, and run by a daemon-owned goroutine that survives the
 // submitting connection. Results accumulate in the job's record log for
 // GET /v1/jobs/{id} to poll or stream.
@@ -166,7 +166,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) int {
 			"job of %d exceeds the per-job limit of %d; split it",
 			len(req.Items), s.cfg.MaxJobItems))
 	}
-	release, status, retryAfter := s.adm.admit(clientKey(r), len(req.Items))
+	// A job's admission charge is its peak pool occupancy, not its item
+	// count: runBatch runs at most BatchWindow of a job's items
+	// concurrently, the rest waiting in the runner, so that is what the
+	// job can actually take from the pool. The cap against the client
+	// share and global window keeps the charge admissible under any
+	// configuration. Charging the full count instead would make every
+	// job between MaxClientItems and MaxJobItems items permanently
+	// refusable — a 429/503 whose Retry-After can never succeed, at the
+	// end of the /v1/check-batch 413 trail that sends oversized batches
+	// here.
+	charge := min(len(req.Items), s.cfg.BatchWindow, s.cfg.MaxClientItems, s.cfg.MaxBatchInflight)
+	release, status, retryAfter := s.adm.admit(clientKey(r), charge)
 	if status != 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		msg := "per-client batch share exhausted; retry after backoff"
@@ -175,9 +186,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) int {
 		}
 		return s.writeError(w, status, msg)
 	}
+	if !s.addSubmitter() {
+		release()
+		w.Header().Set("Retry-After", "2")
+		return s.writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+	}
 	id := "job-" + obs.NewTraceID()[:16]
 	js := newJob(id, len(req.Items))
 	if err := s.jobs.add(js); err != nil {
+		s.submitters.Done()
 		release()
 		w.Header().Set("Retry-After", "2")
 		return s.writeError(w, http.StatusServiceUnavailable,
@@ -187,16 +204,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) int {
 	s.met.jobsActive.Add(1)
 	s.met.batchItems.Add(uint64(len(req.Items)))
 
-	// The runner outlives this request: it runs under jobsCtx (canceled
-	// only when a drain's budget expires) with the submitter's trace
-	// re-attached, and holds its admission charge until the last record.
+	// The runner outlives this request: it runs under drainCtx
+	// (canceled only when a drain's budget expires) with the
+	// submitter's trace re-attached, and holds its admission charge
+	// until the last record. It was registered as a submitter above, so
+	// Shutdown waits for it before closing the pool.
 	carrier := obs.Carry(r.Context())
-	s.jobsWG.Add(1)
 	go func() {
-		defer s.jobsWG.Done()
+		defer s.submitters.Done()
 		defer release()
 		defer s.met.jobsActive.Add(-1)
-		s.runBatch(carrier.Context(s.jobsCtx), req.Items, func(rec client.BatchRecord, _ bool) {
+		s.runBatch(carrier.Context(s.drainCtx), req.Items, func(rec client.BatchRecord, _ bool) {
 			if rec.Done {
 				js.finish(rec)
 			} else {
@@ -259,7 +277,9 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, js *jobState)
 		case <-r.Context().Done():
 			// The tailer went away; the job keeps running — another
 			// stream or poll can pick it up where this one stopped.
-			s.met.batchCanceled.Add(1)
+			// Counted apart from batchCanceled, which is reserved for
+			// streams whose abandonment actually cancels work.
+			s.met.jobStreamDetached.Add(1)
 			return http.StatusOK
 		}
 	}

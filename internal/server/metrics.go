@@ -79,8 +79,14 @@ type metrics struct {
 	// mid-flight (remaining items answered with canceled records).
 	batchCanceled atomic.Uint64
 
-	// batchInflightItems is the live gauge of batch items admitted but
-	// not yet recorded — the quantity admission control bounds.
+	// jobStreamDetached counts ?stream=1 job tailers that disconnected
+	// mid-tail. Unlike batchCanceled, no work is canceled — the job
+	// keeps running and a later stream or poll picks it up.
+	jobStreamDetached atomic.Uint64
+
+	// batchInflightItems is the live gauge of admission charge held —
+	// a sync batch's full item count, an async job's peak pool
+	// occupancy — the quantity admission control bounds.
 	batchInflightItems atomic.Int64
 
 	// batchBackpressure counts batch submissions that found the pool
@@ -189,10 +195,11 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
 	counter("shelleyd_batch_item_errors_total", "Batch items that finished with a non-200 record.", m.batchItemErrors.Load())
 	counter("shelleyd_batch_admission_rejected_total", "Whole batches refused by admission control (429/503 with Retry-After).", m.batchRejected.Load())
 	counter("shelleyd_batch_streams_canceled_total", "Batch streams abandoned by their client mid-flight.", m.batchCanceled.Load())
+	counter("shelleyd_job_stream_detached_total", "Job stream tailers that disconnected mid-tail (the job keeps running).", m.jobStreamDetached.Load())
 	counter("shelleyd_batch_backpressure_total", "Batch submissions that blocked on a full pool queue instead of shedding.", m.batchBackpressure.Load())
 	counter("shelleyd_jobs_total", "Async verification jobs accepted via POST /v1/jobs.", m.jobsSubmitted.Load())
 	counter("shelleyd_response_write_errors_total", "Response writes that failed after the status was committed (client gone).", m.writeErrors.Load())
-	gauge("shelleyd_batch_inflight_items", "Batch items admitted but not yet recorded.", m.batchInflightItems.Load())
+	gauge("shelleyd_batch_inflight_items", "Admission charge held (sync batches by item count, jobs by pool occupancy).", m.batchInflightItems.Load())
 	gauge("shelleyd_jobs_active", "Async jobs still running.", m.jobsActive.Load())
 	gauge("shelleyd_queue_depth", "Jobs waiting for a worker.", m.queueDepth.Load())
 	gauge("shelleyd_workers_busy", "Workers currently executing a job.", m.workersBusy.Load())

@@ -31,6 +31,18 @@ type pool struct {
 	jobs chan job
 	wg   sync.WaitGroup
 
+	// sendMu serializes non-blocking channel sends with close: submit
+	// paths hold it shared around their send attempt and close takes it
+	// exclusively before closing the channel, so a send racing a
+	// drain-budget-expired shutdown observes closed and answers 503
+	// instead of panicking. Blocking sends (submitCtx's backpressure
+	// wait) cannot hold a lock across the send — they rely on the
+	// Server-level guarantee instead: every blocking submitter is
+	// registered with Server.addSubmitter and unwound (via drain-expiry
+	// context cancellation) before close is called.
+	sendMu sync.RWMutex
+	closed bool
+
 	// baseCtx is the lifetime of the pool, NOT cancelled by drain —
 	// draining means finishing admitted work, so jobs keep their own
 	// deadlines and the base context stays live until Close.
@@ -89,6 +101,23 @@ func (p *pool) worker() {
 	}
 }
 
+// trySend is the non-blocking enqueue attempt shared by both submit
+// disciplines: sent on success, closed when the pool already shut.
+func (p *pool) trySend(j job) (sent, closed bool) {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return false, true
+	}
+	select {
+	case p.jobs <- j:
+		p.met.queueDepth.Add(1)
+		return true, false
+	default:
+		return false, false
+	}
+}
+
 // submit enqueues a job, rejecting instead of blocking when the queue
 // is full or the pool is draining.
 func (p *pool) submit(j job) error {
@@ -96,14 +125,15 @@ func (p *pool) submit(j job) error {
 		p.met.saturated.Add(1)
 		return errDraining
 	}
-	select {
-	case p.jobs <- j:
-		p.met.queueDepth.Add(1)
+	sent, closed := p.trySend(j)
+	if sent {
 		return nil
-	default:
-		p.met.saturated.Add(1)
-		return errSaturated
 	}
+	p.met.saturated.Add(1)
+	if closed {
+		return errDraining
+	}
+	return errSaturated
 }
 
 // submitCtx enqueues a job with backpressure: when the queue is full
@@ -113,15 +143,19 @@ func (p *pool) submit(j job) error {
 // stall propagates to the client as a paused NDJSON stream (TCP
 // backpressure) instead of a retry storm. It deliberately does not
 // check draining: batch items are continuations of already-admitted
-// work, and the queue stays open until every submitter (HTTP handler
-// or job goroutine) has returned, so a send can never hit a closed
-// channel.
+// work. The blocking send is safe against close because every caller
+// is a registered submitter (Server.addSubmitter) whose ctx includes
+// the server's drain context: Shutdown cancels that context when its
+// budget expires and waits for every submitter to return before
+// calling close, so no goroutine can still be parked in this send when
+// the channel closes.
 func (p *pool) submitCtx(ctx context.Context, j job) error {
-	select {
-	case p.jobs <- j:
-		p.met.queueDepth.Add(1)
+	sent, closed := p.trySend(j)
+	if sent {
 		return nil
-	default:
+	}
+	if closed {
+		return errDraining
 	}
 	p.met.batchBackpressure.Add(1)
 	select {
@@ -137,8 +171,13 @@ func (p *pool) submitCtx(ctx context.Context, j job) error {
 func (p *pool) drain() { p.draining.Store(true) }
 
 // close waits for every admitted job to finish, then stops the
-// workers. Call only after drain and after no goroutine can submit.
+// workers. Call only after drain and after no goroutine can block in
+// submitCtx (see its comment); racing non-blocking submits are fenced
+// off by sendMu.
 func (p *pool) close() {
+	p.sendMu.Lock()
+	p.closed = true
+	p.sendMu.Unlock()
 	close(p.jobs)
 	p.wg.Wait()
 	p.cancel()

@@ -100,9 +100,13 @@ type Config struct {
 	// MaxClientItems bounds one client's in-flight batch items across
 	// all its concurrent batch streams and jobs; beyond it the whole
 	// batch is refused with 429 and a jittered Retry-After, so one
-	// noisy client exhausts its own share instead of the pool. Clients
-	// are keyed by the X-Shelley-Client token, falling back to the
-	// remote host. 0 means 2×MaxBatchItems.
+	// noisy client exhausts its own share instead of the pool. A sync
+	// batch charges its full item count; an async job charges its peak
+	// pool occupancy — min(items, BatchWindow), further capped to this
+	// share — so a job up to MaxJobItems is always admissible on an
+	// idle daemon even though MaxJobItems may exceed this bound.
+	// Clients are keyed by the X-Shelley-Client token, falling back to
+	// the remote host. 0 means 2×MaxBatchItems.
 	MaxClientItems int
 
 	// MaxBatchInflight bounds in-flight batch items across every
@@ -202,12 +206,19 @@ type Server struct {
 	jobs     *jobStore
 	draining atomic.Bool
 
-	// jobsWG tracks async job runner goroutines; jobsCtx is their base
-	// context, canceled only when the drain budget expires so admitted
-	// jobs normally run to completion through a drain.
-	jobsWG     sync.WaitGroup
-	jobsCtx    context.Context
-	jobsCancel context.CancelFunc
+	// submitters tracks every goroutine that may submit pooled work
+	// with blocking backpressure — sync batch handlers and async job
+	// runners. drainCtx is their shared base context, canceled (with
+	// errDraining as its cause) only when a Shutdown budget expires, so
+	// admitted batches normally run to completion through a drain but a
+	// submitter blocked in a queue send always unwinds before the pool
+	// closes. submitMu makes the draining flip and submitter
+	// registration mutually exclusive, so Shutdown's wait cannot miss a
+	// registrant that raced the flip.
+	submitMu    sync.Mutex
+	submitters  sync.WaitGroup
+	drainCtx    context.Context
+	drainCancel context.CancelCauseFunc
 
 	// tracer and ring are non-nil iff Config.Tracing; logger is
 	// Config.Logger verbatim (nil = quiet).
@@ -240,7 +251,7 @@ func New(cfg Config) *Server {
 		poolClosed: make(chan struct{}),
 		logger:     cfg.Logger,
 	}
-	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
 	if cfg.Tracing {
 		size := cfg.TraceRingSize
 		if size <= 0 {
@@ -308,7 +319,12 @@ func (s *Server) Addr() string {
 // stop. ctx bounds the wait; on expiry remaining work is abandoned.
 // This is what SIGTERM triggers in cmd/shelleyd.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// The draining flip happens under submitMu so that, once it is
+	// visible, addSubmitter can never admit another submitter — which
+	// is what makes the submitters.Wait below a complete census.
+	s.submitMu.Lock()
 	s.draining.Store(true)
+	s.submitMu.Unlock()
 	s.pool.drain()
 	var err error
 	if s.httpSrv != nil {
@@ -316,17 +332,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// jobs — so no accepted request is dropped mid-drain.
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	// Async jobs are admitted work too: wait for their runner
-	// goroutines, canceling them only when the drain budget expires
-	// (cancellation unblocks pending submissions and waiters promptly,
-	// recording the remaining items as canceled).
-	jobsDone := make(chan struct{})
-	go func() { s.jobsWG.Wait(); close(jobsDone) }()
+	// Batch streams and async jobs are admitted work too: wait for
+	// every registered submitter (sync batch handlers and job runner
+	// goroutines), canceling their drain context only when the budget
+	// expires. Cancellation unwinds submitters blocked in a queue send
+	// promptly — recording the remaining items as canceled — which is
+	// what makes the pool close below safe: http.Server.Shutdown never
+	// cancels request contexts, so without this a batch handler could
+	// still be parked in a channel send when the queue closes.
+	submittersDone := make(chan struct{})
+	go func() { s.submitters.Wait(); close(submittersDone) }()
 	select {
-	case <-jobsDone:
+	case <-submittersDone:
 	case <-ctx.Done():
-		s.jobsCancel()
-		<-jobsDone
+		s.drainCancel(errDraining)
+		<-submittersDone
 	}
 	// All handlers and job runners have returned (or were canceled):
 	// no submitter is left, so the queue can close and workers join.
@@ -339,6 +359,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return ctx.Err()
 	}
 	return err
+}
+
+// addSubmitter registers a goroutine that may submit pooled work with
+// blocking backpressure (a sync batch handler or an async job runner),
+// refusing once draining has begun. Registration and the draining flip
+// share submitMu: a submitter is either counted before Shutdown waits,
+// or sees draining and backs off — never neither, which is the
+// invariant pool.close relies on. Every true return must be paired
+// with exactly one s.submitters.Done().
+func (s *Server) addSubmitter() bool {
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.submitters.Add(1)
+	return true
 }
 
 // reqInfo rides the request context so execute can report back to
