@@ -218,6 +218,17 @@ func (r *BatchRecord) CheckResponse() (*CheckResponse, error) {
 	return &resp, nil
 }
 
+// SnapshotImportResponse is the body of PUT /v1/snapshot: how many
+// artifact-store entries the daemon imported from the uploaded
+// snapshot, and how many records it skipped (duplicates of entries it
+// already held, or records that failed verification).
+type SnapshotImportResponse struct {
+	ResponseMeta
+
+	Imported int `json:"imported"`
+	Skipped  int `json:"skipped"`
+}
+
 // JobAccepted is the 202 body of POST /v1/jobs.
 type JobAccepted struct {
 	ResponseMeta

@@ -181,8 +181,20 @@ func newBatchStream(resp *http.Response) *BatchStream {
 
 // postStream issues a POST whose successful response body is handed to
 // the caller unread (streaming endpoints); error responses are drained
-// and mapped exactly like post.
+// and mapped exactly like post, and retried under the same policy —
+// a whole-batch 429/503 refusal arrives before any record flows, so
+// retrying it never replays delivered work.
 func (c *Client) postStream(ctx context.Context, path string, req any) (*http.Response, error) {
+	var httpResp *http.Response
+	err := c.withRetry(ctx, func() error {
+		var oerr error
+		httpResp, oerr = c.postStreamOnce(ctx, path, req)
+		return oerr
+	})
+	return httpResp, err
+}
+
+func (c *Client) postStreamOnce(ctx context.Context, path string, req any) (*http.Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding %s request: %w", path, err)

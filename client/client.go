@@ -19,6 +19,13 @@ type Client struct {
 	base  string
 	http  *http.Client
 	token string
+
+	retry   RetryPolicy
+	retryOn bool
+
+	// sleep and randFloat are the retry machinery's test seams.
+	sleep     func(context.Context, time.Duration) error
+	randFloat func() float64
 }
 
 // Option configures a Client.
@@ -43,8 +50,10 @@ func WithToken(token string) Option {
 // timeout of its own — deadlines come from the caller's context.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{},
+		base:      strings.TrimRight(base, "/"),
+		http:      &http.Client{},
+		sleep:     sleepCtx,
+		randFloat: randFloatDefault,
 	}
 	for _, o := range opts {
 		o(c)
@@ -175,7 +184,14 @@ func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	}
 }
 
+// post runs a JSON POST under the retry policy. GETs (health, metrics)
+// are deliberately not retried: they are observability probes whose
+// callers want the instantaneous answer, not an eventually-healthy one.
 func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	return c.withRetry(ctx, func() error { return c.postOnce(ctx, path, req, resp) })
+}
+
+func (c *Client) postOnce(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)

@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy configures opt-in automatic retries of temporary daemon
+// refusals (429 admission, 503 saturation/drain). The zero value of
+// each field takes the documented default; install with WithRetry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, the first included.
+	// 0 means 4.
+	MaxAttempts int
+
+	// BaseDelay seeds the exponential backoff: attempt n waits
+	// BaseDelay·2ⁿ, jittered to 0.5–1.5× so a fleet of refused clients
+	// does not retry in lockstep. 0 means 100ms.
+	BaseDelay time.Duration
+
+	// MaxDelay caps any single wait. 0 means 5s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// backoff is the wait before retry number attempt (0-based). A daemon
+// Retry-After hint wins outright — the server already jittered it and
+// knows its own drain state better than any client-side guess.
+func (p RetryPolicy) backoff(attempt int, hint time.Duration, randFloat func() float64) time.Duration {
+	if hint > 0 {
+		return hint
+	}
+	d := p.BaseDelay << attempt
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	d = time.Duration(float64(d) * (0.5 + randFloat()))
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// WithRetry makes every request retry temporary refusals (APIError
+// with Temporary() true: 429 and 503) under the given policy, honoring
+// the daemon's Retry-After hint when one is sent. Non-temporary errors
+// (4xx request problems, transport failures) are never retried, and
+// the caller's context deadline always wins over a pending backoff.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults(); c.retryOn = true }
+}
+
+// withRetry runs op under the client's retry policy; without WithRetry
+// it is a single attempt.
+func (c *Client) withRetry(ctx context.Context, op func() error) error {
+	if !c.retryOn {
+		return op()
+	}
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !apiErr.Temporary() || attempt+1 >= c.retry.MaxAttempts {
+			return err
+		}
+		if serr := c.sleep(ctx, c.retry.backoff(attempt, apiErr.RetryAfter, c.randFloat)); serr != nil {
+			// The deadline fired mid-backoff; the refusal is the more
+			// informative error.
+			return err
+		}
+	}
+}
+
+// sleepCtx is the production sleep; tests substitute the hook.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// CheckBatchAll runs a batch to completion under the retry policy,
+// returning one record per item in item order. Two refusal layers are
+// retried: a whole-batch 429/503 (handled by the transport retry
+// inside CheckBatch), and per-record 503s — items individually refused
+// while the daemon drained or saturated mid-stream — which are
+// resubmitted as a smaller follow-up batch. Any other record status is
+// a final per-item outcome and is returned as-is; a broken stream
+// fails the call. Without WithRetry a single pass runs and 503 records
+// come back unretried.
+func (c *Client) CheckBatchAll(ctx context.Context, req BatchRequest) ([]BatchRecord, error) {
+	records := make([]BatchRecord, len(req.Items))
+	pending := make([]int, len(req.Items))
+	for i := range pending {
+		pending[i] = i
+	}
+	maxAttempts := 1
+	if c.retryOn {
+		maxAttempts = c.retry.MaxAttempts
+	}
+	for attempt := 0; len(pending) > 0 && attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := c.sleep(ctx, c.retry.backoff(attempt-1, 0, c.randFloat)); serr != nil {
+				return records, serr
+			}
+		}
+		sub := BatchRequest{Items: make([]BatchItem, len(pending))}
+		for i, idx := range pending {
+			sub.Items[i] = req.Items[idx]
+		}
+		stream, err := c.CheckBatch(ctx, sub)
+		if err != nil {
+			return records, err
+		}
+		recs, err := stream.Collect()
+		if err != nil {
+			return records, err
+		}
+		var next []int
+		for _, rec := range recs {
+			if rec.Index < 0 || rec.Index >= len(pending) {
+				return records, fmt.Errorf("client: batch record index %d out of range", rec.Index)
+			}
+			orig := pending[rec.Index]
+			rec.Index = orig
+			records[orig] = rec
+			if rec.Status == http.StatusServiceUnavailable {
+				next = append(next, orig)
+			}
+		}
+		pending = next
+	}
+	return records, nil
+}
+
+// randFloat is the jitter source; tests substitute the hook.
+func randFloatDefault() float64 { return rand.Float64() }

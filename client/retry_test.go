@@ -1,0 +1,333 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyCheck serves /v1/check: the first fail responses answer with
+// status (plus an optional Retry-After hint), then every later request
+// succeeds. It counts hits.
+type flakyCheck struct {
+	mu         sync.Mutex
+	hits       int
+	fail       int
+	status     int
+	retryAfter string
+}
+
+func (f *flakyCheck) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.hits++
+	n := f.hits
+	f.mu.Unlock()
+	if n <= f.fail {
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.status)
+		fmt.Fprintf(w, `{"error":"try later"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"fingerprint":"sha256:abc","ok":true,"reports":[]}`)
+}
+
+func (f *flakyCheck) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits
+}
+
+// retryClient builds a client against srv with the policy installed and
+// deterministic seams: randFloat pins jitter to 1.0× and the sleep hook
+// records each backoff instead of waiting.
+func retryClient(srv *httptest.Server, p RetryPolicy, slept *[]time.Duration) *Client {
+	c := New(srv.URL, WithRetry(p))
+	c.randFloat = func() float64 { return 0.5 }
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return nil
+	}
+	return c
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	f := &flakyCheck{fail: 2, status: http.StatusServiceUnavailable, retryAfter: "2"}
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv, RetryPolicy{}, &slept)
+	resp, err := c.Check(context.Background(), CheckRequest{Source: "class A:\n    pass\n"})
+	if err != nil {
+		t.Fatalf("Check after retries: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if got := f.count(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoffs %v, want %v (the daemon hint must win over the schedule)", slept, want)
+	}
+}
+
+func TestRetryExponentialBackoffWithoutHint(t *testing.T) {
+	f := &flakyCheck{fail: 100, status: http.StatusTooManyRequests}
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv, RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}, &slept)
+	_, err := c.Check(context.Background(), CheckRequest{Source: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want final 429 APIError, got %v", err)
+	}
+	if got := f.count(); got != 4 {
+		t.Fatalf("server saw %d requests, want MaxAttempts=4", got)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != 3 || slept[0] != want[0] || slept[1] != want[1] || slept[2] != want[2] {
+		t.Fatalf("backoffs %v, want doubling schedule %v", slept, want)
+	}
+}
+
+func TestRetryJitterStaysWithinBounds(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	for i, r := range []float64{0, 0.25, 0.5, 0.999} {
+		d := p.backoff(1, 0, func() float64 { return r })
+		lo := time.Duration(float64(2*p.BaseDelay) * 0.5)
+		hi := time.Duration(float64(2*p.BaseDelay) * 1.5)
+		if d < lo || d > hi {
+			t.Fatalf("sample %d: backoff %v outside jitter bounds [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if d := p.backoff(30, 0, func() float64 { return 0.999 }); d > p.MaxDelay {
+		t.Fatalf("deep attempt backoff %v exceeds MaxDelay %v", d, p.MaxDelay)
+	}
+}
+
+func TestRetryDisabledWithoutOptIn(t *testing.T) {
+	f := &flakyCheck{fail: 1, status: http.StatusServiceUnavailable}
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	_, err := c.Check(context.Background(), CheckRequest{Source: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 surfaced on first refusal, got %v", err)
+	}
+	if got := f.count(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no opt-in, no retry)", got)
+	}
+}
+
+func TestRetrySkipsNonTemporaryErrors(t *testing.T) {
+	f := &flakyCheck{fail: 100, status: http.StatusNotFound}
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv, RetryPolicy{}, &slept)
+	_, err := c.Check(context.Background(), CheckRequest{Fingerprint: "sha256:missing"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+	if got := f.count(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (404 is permanent)", got)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("unexpected backoffs %v for a permanent error", slept)
+	}
+}
+
+func TestRetryStopsWhenContextExpiresMidBackoff(t *testing.T) {
+	f := &flakyCheck{fail: 100, status: http.StatusServiceUnavailable}
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{}))
+	c.randFloat = func() float64 { return 0.5 }
+	c.sleep = func(ctx context.Context, _ time.Duration) error { return context.DeadlineExceeded }
+	_, err := c.Check(context.Background(), CheckRequest{Source: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want the refusal surfaced when the deadline fires mid-backoff, got %v", err)
+	}
+	if got := f.count(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no attempt after an expired wait)", got)
+	}
+}
+
+// batchDrainServer serves /v1/check-batch, answering 503 records for
+// fingerprints listed in refuseOnce the first time they appear — the
+// shape of a daemon refusing late submissions while draining a pool.
+type batchDrainServer struct {
+	mu         sync.Mutex
+	calls      [][]int // item counts per call, by original ID
+	refuseOnce map[string]bool
+}
+
+func (b *batchDrainServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	b.mu.Lock()
+	sizes := make([]int, 0, len(req.Items))
+	for range req.Items {
+		sizes = append(sizes, 1)
+	}
+	b.calls = append(b.calls, sizes)
+	b.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	succeeded, failed := 0, 0
+	for i, item := range req.Items {
+		b.mu.Lock()
+		refuse := b.refuseOnce[item.ID]
+		if refuse {
+			delete(b.refuseOnce, item.ID)
+		}
+		b.mu.Unlock()
+		if refuse {
+			failed++
+			enc.Encode(BatchRecord{Index: i, ID: item.ID, Status: http.StatusServiceUnavailable, Error: "draining"})
+			continue
+		}
+		succeeded++
+		check, _ := json.Marshal(CheckResponse{Fingerprint: Fingerprint(item.Source), OK: true})
+		enc.Encode(BatchRecord{Index: i, ID: item.ID, Status: http.StatusOK, Check: check})
+	}
+	enc.Encode(BatchRecord{Done: true, Total: len(req.Items), Succeeded: succeeded, Failed: failed})
+}
+
+func TestCheckBatchAllResubmitsDrainRefusedRecords(t *testing.T) {
+	b := &batchDrainServer{refuseOnce: map[string]bool{"b": true, "d": true}}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv, RetryPolicy{}, &slept)
+	req := BatchRequest{Items: []BatchItem{
+		{ID: "a", Source: "a"}, {ID: "b", Source: "b"},
+		{ID: "c", Source: "c"}, {ID: "d", Source: "d"},
+	}}
+	records, err := c.CheckBatchAll(context.Background(), req)
+	if err != nil {
+		t.Fatalf("CheckBatchAll: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4", len(records))
+	}
+	for i, rec := range records {
+		if rec.Index != i {
+			t.Fatalf("record %d carries index %d; records must come back in item order", i, rec.Index)
+		}
+		if rec.Status != http.StatusOK {
+			t.Fatalf("record %d status %d after resubmission, want 200", i, rec.Status)
+		}
+		if rec.ID != req.Items[i].ID {
+			t.Fatalf("record %d ID %q, want %q", i, rec.ID, req.Items[i].ID)
+		}
+	}
+	b.mu.Lock()
+	calls := b.calls
+	b.mu.Unlock()
+	if len(calls) != 2 || len(calls[0]) != 4 || len(calls[1]) != 2 {
+		t.Fatalf("batch call shapes %v, want one full pass then a 2-item resubmission", calls)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("resubmission slept %v, want exactly one backoff between passes", slept)
+	}
+}
+
+func TestCheckBatchAllWithoutRetryIsSinglePass(t *testing.T) {
+	b := &batchDrainServer{refuseOnce: map[string]bool{"b": true}}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	c := New(srv.URL)
+	records, err := c.CheckBatchAll(context.Background(), BatchRequest{Items: []BatchItem{
+		{ID: "a", Source: "a"}, {ID: "b", Source: "b"},
+	}})
+	if err != nil {
+		t.Fatalf("CheckBatchAll: %v", err)
+	}
+	if records[0].Status != http.StatusOK || records[1].Status != http.StatusServiceUnavailable {
+		t.Fatalf("records %+v; without opt-in the 503 must come back unretried", records)
+	}
+	b.mu.Lock()
+	calls := len(b.calls)
+	b.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("server saw %d batch calls, want 1", calls)
+	}
+}
+
+func TestCheckBatchAllRetriesWholeBatchRefusal(t *testing.T) {
+	var mu sync.Mutex
+	refusals := 1
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		refuse := refusals > 0
+		if refuse {
+			refusals--
+		}
+		mu.Unlock()
+		if refuse {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+			return
+		}
+		var req BatchRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i, item := range req.Items {
+			check, _ := json.Marshal(CheckResponse{Fingerprint: Fingerprint(item.Source), OK: true})
+			enc.Encode(BatchRecord{Index: i, ID: item.ID, Status: http.StatusOK, Check: check})
+		}
+		enc.Encode(BatchRecord{Done: true, Total: len(req.Items), Succeeded: len(req.Items)})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv, RetryPolicy{}, &slept)
+	records, err := c.CheckBatchAll(context.Background(), BatchRequest{Items: []BatchItem{{ID: "a", Source: "a"}}})
+	if err != nil {
+		t.Fatalf("CheckBatchAll: %v", err)
+	}
+	if records[0].Status != http.StatusOK {
+		t.Fatalf("record %+v, want 200 after whole-batch retry", records[0])
+	}
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (refusal then success)", got)
+	}
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Fatalf("backoffs %v, want the daemon's 1s hint honored once", slept)
+	}
+}

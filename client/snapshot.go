@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// SnapshotDownload GETs /v1/snapshot, streaming the daemon's durable
+// artifact store — every verified report and response body it holds —
+// into w. The bytes are an opaque self-verifying stream meant for
+// SnapshotUpload (to this daemon or another): uploading it to a fresh
+// instance pre-warms it without re-verifying anything. Returns the
+// number of bytes written. 404 when the daemon runs without a store.
+func (c *Client) SnapshotDownload(ctx context.Context, w io.Writer) (int64, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return 0, err
+	}
+	c.setHeaders(httpReq)
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return 0, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(httpResp.Body)
+		return 0, apiError(httpResp, raw)
+	}
+	return io.Copy(w, httpResp.Body)
+}
+
+// SnapshotUpload PUTs a snapshot stream (produced by SnapshotDownload)
+// into the daemon's artifact store. The daemon re-verifies every
+// record — damaged or duplicate entries are skipped and counted in the
+// response, never trusted — and a structurally broken stream answers
+// 400. 404 when the daemon runs without a store.
+func (c *Client) SnapshotUpload(ctx context.Context, r io.Reader) (*SnapshotImportResponse, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/snapshot", r)
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/octet-stream")
+	c.setHeaders(httpReq)
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode/100 != 2 {
+		return nil, apiError(httpResp, raw)
+	}
+	var resp SnapshotImportResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding /v1/snapshot response: %w", err)
+	}
+	resp.setTraceID(httpResp.Header.Get("X-Shelley-Trace"))
+	return &resp, nil
+}

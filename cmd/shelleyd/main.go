@@ -51,6 +51,7 @@ import (
 	"github.com/shelley-go/shelley/client"
 	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/server"
+	"github.com/shelley-go/shelley/internal/store"
 )
 
 func main() {
@@ -87,6 +88,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra listener (e.g. 127.0.0.1:6060); empty = off")
 	maxStates := fs.Int("max-states", 0, "per-request bound on automata states and search nodes (0 = production default)")
 	maxRegex := fs.Int("max-regex", 0, "per-request bound on regex size (0 = production default)")
+	storeDir := fs.String("store-dir", "", "durable artifact store directory for warm restarts (empty = persistence off)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "artifact store byte bound, LRU-evicted (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -115,6 +118,20 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 		// Structured access log on stderr; the obs handler stamps each
 		// record with the request's trace and span IDs when tracing is on.
 		cfg.Logger = slog.New(obs.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	if *storeDir != "" {
+		// Open (and warm-load) the store before the daemon serves: every
+		// surviving entry of the previous run is verified and indexed
+		// here, so the first fingerprint-only request can already hit.
+		st, err := store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeMaxBytes})
+		if err != nil {
+			return 2, fmt.Errorf("opening artifact store: %w", err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		stats := st.Stats()
+		fmt.Fprintf(out, "shelleyd: artifact store %s: %d entries (%d bytes) warm, %d quarantined\n",
+			*storeDir, stats.Entries, stats.Bytes, stats.Corrupt)
 	}
 
 	if *selfcheck {

@@ -1,0 +1,46 @@
+package check
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/shelley-go/shelley/internal/pipeline"
+)
+
+// ReportCodec returns the pipeline.Codec that serializes whole-class
+// verification reports for a durable artifact store. Reports are pure
+// data (names, messages, witness traces — no automata), marshal
+// deterministically, and are exactly the artifact worth persisting: a
+// resurrected report turns a cold restart's first Check into a decode
+// instead of a full pipeline run. The decode side validates — durable
+// bytes may be damaged in ways the store's frame checksum cannot see
+// (a stale key mapping, a hand-edited file) — and any failure demotes
+// the lookup to an ordinary rebuild.
+func ReportCodec() pipeline.Codec { return reportCodec{} }
+
+type reportCodec struct{}
+
+func (reportCodec) EncodeArtifact(v any) ([]byte, error) {
+	r, ok := v.(*Report)
+	if !ok || r == nil {
+		return nil, fmt.Errorf("check: cannot persist %T as a report", v)
+	}
+	return json.Marshal(r)
+}
+
+func (reportCodec) DecodeArtifact(b []byte) (any, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("check: persisted report: %w", err)
+	}
+	if r.Class == "" {
+		return nil, errors.New("check: persisted report has no class name")
+	}
+	for _, d := range r.Diagnostics {
+		if d.Kind == 0 || d.Message == "" {
+			return nil, errors.New("check: persisted report has a malformed diagnostic")
+		}
+	}
+	return &r, nil
+}

@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memPersister is an in-memory Persister that records traffic.
+type memPersister struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets int
+	puts int
+}
+
+func newMemPersister() *memPersister { return &memPersister{m: make(map[string][]byte)} }
+
+func (p *memPersister) Get(key string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gets++
+	b, ok := p.m[key]
+	return b, ok
+}
+
+func (p *memPersister) Put(key string, payload []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.puts++
+	p.m[key] = payload
+}
+
+func (p *memPersister) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// stringCodec round-trips string artifacts; decoding rejects payloads
+// carrying the poison marker, standing in for a validation failure on
+// stale or damaged durable bytes.
+type stringCodec struct{}
+
+func (stringCodec) EncodeArtifact(v any) ([]byte, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("not a string: %T", v)
+	}
+	return []byte(s), nil
+}
+
+func (stringCodec) DecodeArtifact(b []byte) (any, error) {
+	if string(b) == "poison" {
+		return nil, errors.New("validation failed")
+	}
+	return string(b), nil
+}
+
+func TestPersistWriteBehindThenReadThrough(t *testing.T) {
+	p := newMemPersister()
+	c1 := New()
+	c1.Persist(StageReport, p, stringCodec{})
+
+	builds := 0
+	build := func(context.Context) (any, error) { builds++; return "artifact", nil }
+	v, err := c1.DoCtx(context.Background(), StageReport, "k1", build)
+	if err != nil || v != "artifact" {
+		t.Fatalf("DoCtx: %v, %v", v, err)
+	}
+	if builds != 1 || p.puts != 1 {
+		t.Fatalf("builds=%d puts=%d, want the miss built once and written behind once", builds, p.puts)
+	}
+
+	// A fresh cache (a restarted process) fills the same key from the
+	// persister without building.
+	c2 := New()
+	c2.Persist(StageReport, p, stringCodec{})
+	v, err = c2.DoCtx(context.Background(), StageReport, "k1", func(context.Context) (any, error) {
+		t.Fatal("build ran despite a persisted artifact")
+		return nil, nil
+	})
+	if err != nil || v != "artifact" {
+		t.Fatalf("read-through DoCtx: %v, %v", v, err)
+	}
+	st := c2.Stats().Stages[StageReport]
+	if st.PersistHits != 1 || st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want exactly one persist hit and no miss/hit", st)
+	}
+
+	// The persist hit is now memoized: the next lookup is a plain
+	// memory hit with no further persister traffic.
+	before := p.gets
+	if v, err = c2.DoCtx(context.Background(), StageReport, "k1", build); err != nil || v != "artifact" {
+		t.Fatalf("memoized lookup: %v, %v", v, err)
+	}
+	if p.gets != before {
+		t.Fatalf("memory hit consulted the persister (%d gets, was %d)", p.gets, before)
+	}
+	if got := c2.Stats().Stages[StageReport].Hits; got != 1 {
+		t.Fatalf("hits=%d, want 1 memory hit after the persist fill", got)
+	}
+}
+
+func TestPersistErrorsAreNotPersisted(t *testing.T) {
+	p := newMemPersister()
+	c := New()
+	c.Persist(StageReport, p, stringCodec{})
+
+	boom := errors.New("boom")
+	_, err := c.DoCtx(context.Background(), StageReport, "bad", func(context.Context) (any, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if p.puts != 0 || p.len() != 0 {
+		t.Fatalf("error result reached the persister (puts=%d len=%d)", p.puts, p.len())
+	}
+}
+
+func TestPersistBadDecodeFallsThroughToBuild(t *testing.T) {
+	p := newMemPersister()
+	p.m["0stale"] = []byte("poison") // StageBehavior-prefixed key, rejected by the codec
+	c := New()
+	c.Persist(StageBehavior, p, stringCodec{})
+
+	builds := 0
+	v, err := c.DoCtx(context.Background(), StageBehavior, "stale", func(context.Context) (any, error) {
+		builds++
+		return "fresh", nil
+	})
+	if err != nil || v != "fresh" || builds != 1 {
+		t.Fatalf("v=%v err=%v builds=%d, want a rejected decode to rebuild", v, err, builds)
+	}
+	if got := c.Stats().Stages[StageBehavior].PersistHits; got != 0 {
+		t.Fatalf("persistHits=%d, want 0 for a rejected decode", got)
+	}
+	// The rebuild's write-behind repairs the durable entry in place.
+	if string(p.m["0"+"stale"]) != "fresh" {
+		t.Fatalf("durable entry %q, want repaired to %q", p.m["0stale"], "fresh")
+	}
+}
+
+func TestPersistDetachAndNilCache(t *testing.T) {
+	p := newMemPersister()
+	c := New()
+	c.Persist(StageReport, p, stringCodec{})
+	c.Persist(StageReport, nil, nil) // detach
+	if _, err := c.DoCtx(context.Background(), StageReport, "k", func(context.Context) (any, error) {
+		return "v", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.gets != 0 || p.puts != 0 {
+		t.Fatalf("detached persister saw traffic (gets=%d puts=%d)", p.gets, p.puts)
+	}
+
+	var nilCache *Cache
+	nilCache.Persist(StageReport, p, stringCodec{}) // must not panic
+}
+
+func TestPersistKeysAreStagePrefixed(t *testing.T) {
+	p := newMemPersister()
+	c := New()
+	c.Persist(StageReport, p, stringCodec{})
+	c.Persist(StageSpec, p, stringCodec{})
+	if _, err := c.DoCtx(context.Background(), StageReport, "same", func(context.Context) (any, error) {
+		return "report-artifact", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DoCtx(context.Background(), StageSpec, "same", func(context.Context) (any, error) {
+		return "spec-artifact", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.len() != 2 {
+		t.Fatalf("persister holds %d entries for one key across two stages, want 2", p.len())
+	}
+}

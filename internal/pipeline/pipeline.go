@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/shelley-go/shelley/internal/automata"
@@ -111,13 +112,44 @@ func init() {
 // A power of two keeps the index computation a mask.
 const shardCount = 32
 
+// Persister is the durable artifact store surface the cache reads
+// through on a miss and writes behind on a fill. Both methods must be
+// safe for concurrent use and must never block for long: Get is on the
+// first-miss path, and Put is expected to enqueue (the store behind it
+// sheds under pressure rather than stalling verification). Any durable
+// failure must surface as a miss (Get) or a silent drop (Put) — the
+// cache treats the persister as strictly best-effort.
+type Persister interface {
+	// Get returns the payload persisted under key, or ok=false.
+	Get(key string) ([]byte, bool)
+
+	// Put persists payload under key, best-effort.
+	Put(key string, payload []byte)
+}
+
+// Codec translates one stage's artifact between its in-memory form and
+// durable bytes. DecodeArtifact must validate: persisted bytes come
+// from disk and may predate this build, and a decode error simply
+// demotes the lookup to a rebuild.
+type Codec interface {
+	EncodeArtifact(v any) ([]byte, error)
+	DecodeArtifact(b []byte) (any, error)
+}
+
+// persistHook pairs a stage's durable store with its codec.
+type persistHook struct {
+	store Persister
+	codec Codec
+}
+
 // Cache is the memoization store. The zero value is not usable; create
 // caches with New. A nil *Cache is valid everywhere and disables
 // memoization (every lookup builds), which lets callers thread
 // "caching off" without branching.
 type Cache struct {
-	shards [shardCount]shard
-	stats  [numStages]stageCounters
+	shards  [shardCount]shard
+	stats   [numStages]stageCounters
+	persist [numStages]atomic.Pointer[persistHook]
 }
 
 type shard struct {
@@ -131,6 +163,25 @@ type entry struct {
 	ready chan struct{}
 	val   any
 	err   error
+}
+
+// Persist attaches a durable read-through/write-behind layer to one
+// stage: a miss consults p before building (a verified decode is
+// published as if built, counted as a persist hit), and a successful
+// build is encoded and handed to p.Put. Errors are never persisted —
+// only values — and the layer is strictly best-effort: a failing or
+// absent persister leaves the cache exactly as fast and exactly as
+// correct as without one. Attach before serving traffic; nil p or codec
+// detaches. A nil cache ignores the call.
+func (c *Cache) Persist(stage Stage, p Persister, codec Codec) {
+	if c == nil {
+		return
+	}
+	if p == nil || codec == nil {
+		c.persist[stage].Store(nil)
+		return
+	}
+	c.persist[stage].Store(&persistHook{store: p, codec: codec})
 }
 
 // New returns an empty cache.
@@ -220,6 +271,25 @@ func (c *Cache) DoCtx(ctx context.Context, stage Stage, key string, build func(c
 	sh.entries[k] = e
 	sh.mu.Unlock()
 
+	// Read-through: a durable artifact persisted by an earlier process
+	// (or this one, pre-crash) turns the miss into a publish without a
+	// build. The decode must fully validate — disk bytes are untrusted —
+	// and any failure silently falls through to the build below.
+	hook := c.persist[stage].Load()
+	if hook != nil {
+		if raw, ok := hook.store.Get(k); ok {
+			if v, derr := hook.codec.DecodeArtifact(raw); derr == nil {
+				e.val = v
+				close(e.ready)
+				st := &c.stats[stage]
+				st.persistHits.Add(1)
+				st.entries.Add(1)
+				obs.SpanFrom(ctx).AddCount(hitCounters[stage])
+				return e.val, nil
+			}
+		}
+	}
+
 	ctx, span := obs.Start(ctx, spanNames[stage])
 	start := time.Now()
 	defer func() {
@@ -262,6 +332,16 @@ func (c *Cache) DoCtx(ctx context.Context, stage Stage, key string, build func(c
 	}
 	st.buildNanos.Add(int64(elapsed))
 	st.buckets[bucketIndex(elapsed)].Add(1)
+
+	// Write-behind: persist the freshly built value (never an error —
+	// errors are cheap to recompute and poisonous to resurrect). Put is
+	// non-blocking by contract, so the only cost on this path is the
+	// encode, which is trivial next to the build that just ran.
+	if hook != nil && cacheable && e.err == nil {
+		if raw, perr := hook.codec.EncodeArtifact(e.val); perr == nil {
+			hook.store.Put(k, raw)
+		}
+	}
 	return e.val, e.err
 }
 

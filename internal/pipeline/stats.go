@@ -58,11 +58,12 @@ func BucketLabels() []string {
 
 // stageCounters are the live atomics behind one stage's statistics.
 type stageCounters struct {
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	entries    atomic.Uint64
-	buildNanos atomic.Int64
-	buckets    [NumBuckets]atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	entries     atomic.Uint64
+	persistHits atomic.Uint64
+	buildNanos  atomic.Int64
+	buckets     [NumBuckets]atomic.Uint64
 }
 
 // StageStats is a point-in-time snapshot of one stage.
@@ -77,10 +78,18 @@ type StageStats struct {
 	// Misses counts builds actually executed.
 	Misses uint64
 
-	// Entries is the number of cached artifacts (equal to Misses:
-	// entries are never evicted; content-addressing makes stale
-	// entries unreachable rather than wrong).
+	// Entries is the number of cached artifacts (builds plus persisted
+	// artifacts resurrected by the durable layer; entries are never
+	// evicted — content-addressing makes stale entries unreachable
+	// rather than wrong).
 	Entries uint64
+
+	// PersistHits counts misses answered by the durable artifact store
+	// instead of a build (see Cache.Persist). They are counted apart
+	// from Hits — a persist hit cost a disk read and a decode, not a
+	// map lookup — and apart from Misses, which count builds actually
+	// executed.
+	PersistHits uint64
 
 	// BuildTime is the total wall time spent in builds.
 	BuildTime time.Duration
@@ -117,6 +126,7 @@ func (c *Cache) Stats() Stats {
 		st.Hits = cnt.hits.Load()
 		st.Misses = cnt.misses.Load()
 		st.Entries = cnt.entries.Load()
+		st.PersistHits = cnt.persistHits.Load()
 		st.BuildTime = time.Duration(cnt.buildNanos.Load())
 		for b := range st.Buckets {
 			st.Buckets[b] = cnt.buckets[b].Load()

@@ -289,6 +289,26 @@ func (s *Server) batchItem(ctx context.Context, idx int, it client.BatchItem) cl
 		}
 		fp = computed
 	}
+	key := checkKey(fp, it.Class, it.Precise)
+	if body, ok := s.modules.cachedBody(fp, key); ok {
+		// Same fast path as handleCheck: a memoized success is the
+		// pooled path's exact bytes, served without a pool round-trip —
+		// and before module resolution, which is sound because bodies
+		// are stored only for requests that answered 200.
+		s.met.bodyCacheHits.Add(1)
+		rec.Status = http.StatusOK
+		rec.Check = json.RawMessage(body)
+		return rec
+	}
+	if body, ok := s.storeBody(key); ok {
+		// And one layer down: the durable store lets a restarted daemon
+		// answer fingerprint-only batch items without residency.
+		s.met.storeBodyHits.Add(1)
+		s.modules.storeBody(fp, key, body)
+		rec.Status = http.StatusOK
+		rec.Check = json.RawMessage(body)
+		return rec
+	}
 	mod, err := s.modules.get(ctx, fp, it.Source)
 	switch {
 	case errors.Is(err, errNotResident):
@@ -303,15 +323,6 @@ func (s *Server) batchItem(ctx context.Context, idx int, it client.BatchItem) cl
 		if _, ok := mod.Class(it.Class); !ok {
 			return fail(http.StatusNotFound, "class "+it.Class+" not found")
 		}
-	}
-	key := checkKey(fp, it.Class, it.Precise)
-	if body, ok := s.modules.cachedBody(fp, key); ok {
-		// Same fast path as handleCheck: a memoized success is the
-		// pooled path's exact bytes, served without a pool round-trip.
-		s.met.bodyCacheHits.Add(1)
-		rec.Status = http.StatusOK
-		rec.Check = json.RawMessage(body)
-		return rec
 	}
 	c, _ := s.launch(ctx, key, true, s.checkFn(mod, fp, it.Class, it.Precise))
 	select {

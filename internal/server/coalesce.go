@@ -8,6 +8,7 @@ import (
 
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/internal/pipeline"
+	"github.com/shelley-go/shelley/internal/store"
 )
 
 // call is one coalesced execution: the first request for a key becomes
@@ -95,10 +96,17 @@ type moduleCache struct {
 	entries map[string]*moduleEntry
 	max     int
 	met     *metrics
+
+	// store, when non-nil, is attached to every freshly loaded module's
+	// report stage (Module.PersistReports): whole-class reports then
+	// read through and write behind the durable artifact store, which is
+	// what makes a restarted daemon's first source-bearing check a
+	// decode instead of a full pipeline run.
+	store *store.Store
 }
 
-func newModuleCache(max int, met *metrics) *moduleCache {
-	return &moduleCache{entries: make(map[string]*moduleEntry), max: max, met: met}
+func newModuleCache(max int, met *metrics, st *store.Store) *moduleCache {
+	return &moduleCache{entries: make(map[string]*moduleEntry), max: max, met: met, store: st}
 }
 
 // get returns the resident module for fp, loading it from source on
@@ -132,6 +140,11 @@ func (mc *moduleCache) get(ctx context.Context, fp, source string) (*shelley.Mod
 
 	mc.met.moduleMisses.Add(1)
 	e.mod, e.err = shelley.LoadReaderContext(ctx, shortFP(fp), strings.NewReader(source))
+	if e.err == nil && mc.store != nil {
+		// Attached before ready closes, so no check can race past a
+		// module whose persistence layer is not yet in place.
+		e.mod.PersistReports(mc.store)
+	}
 	close(e.ready)
 	if e.err != nil {
 		mc.mu.Lock()
@@ -236,6 +249,7 @@ func (mc *moduleCache) stats() shelley.PipelineStats {
 			agg.Stages[i].Hits += s.Stages[i].Hits
 			agg.Stages[i].Misses += s.Stages[i].Misses
 			agg.Stages[i].Entries += s.Stages[i].Entries
+			agg.Stages[i].PersistHits += s.Stages[i].PersistHits
 			agg.Stages[i].BuildTime += s.Stages[i].BuildTime
 			for b := range agg.Stages[i].Buckets {
 				agg.Stages[i].Buckets[b] += s.Stages[i].Buckets[b]

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/shelley-go/shelley/internal/pipeline"
+	"github.com/shelley-go/shelley/internal/store"
 )
 
 // metrics is the daemon's observability surface, rendered as a
@@ -35,6 +36,11 @@ type metrics struct {
 	// bodyCacheHits counts check requests answered from a resident
 	// module's memoized response body, skipping the worker pool.
 	bodyCacheHits atomic.Uint64
+
+	// storeBodyHits counts check requests answered from the durable
+	// artifact store's persisted response bodies — the warm-restart fast
+	// path, one layer below bodyCacheHits.
+	storeBodyHits atomic.Uint64
 
 	// moduleEvictions counts resident modules dropped to stay under
 	// MaxModules.
@@ -133,8 +139,9 @@ func (m *metrics) observe(endpoint string, code int, elapsed time.Duration) {
 
 // render writes the exposition. pipelineStats aggregates the caches of
 // every resident module, so cache behavior inside the daemon is
-// scrapeable without a side channel.
-func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
+// scrapeable without a side channel; st (nil when persistence is off)
+// contributes the shelleyd_store_* family.
+func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *store.Store) {
 	fmt.Fprintf(b, "# HELP shelleyd_requests_total Finished requests by endpoint and status code.\n")
 	fmt.Fprintf(b, "# TYPE shelleyd_requests_total counter\n")
 	m.mu.Lock()
@@ -205,10 +212,33 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats) {
 	gauge("shelleyd_workers_busy", "Workers currently executing a job.", m.workersBusy.Load())
 	gauge("shelleyd_inflight_requests", "Requests currently inside a handler.", m.inflight.Load())
 
+	if st != nil {
+		ss := st.Stats()
+		counter("shelleyd_store_hits_total", "Artifact-store reads served from disk.", ss.Hits)
+		counter("shelleyd_store_warm_hits_total", "Store hits on entries persisted before this process started (warm-restart reuse).", ss.WarmHits)
+		counter("shelleyd_store_misses_total", "Store reads that found nothing servable (absent, unreadable, or corrupt).", ss.Misses)
+		counter("shelleyd_store_writes_total", "Artifacts durably published (temp write, fsync, atomic rename).", ss.Writes)
+		counter("shelleyd_store_errors_total", "Failed store filesystem operations, one per failed call (each degrades to recompute).", ss.Errors)
+		counter("shelleyd_store_corrupt_total", "Entries that failed frame verification and were quarantined.", ss.Corrupt)
+		counter("shelleyd_store_shed_total", "Write-behind requests dropped on a full queue.", ss.Shed)
+		counter("shelleyd_store_evictions_total", "Entries evicted (LRU) to respect the store byte bound.", ss.Evictions)
+		counter("shelleyd_store_body_hits_total", "Check requests answered from a persisted response body.", m.storeBodyHits.Load())
+		counter("shelleyd_store_snapshot_imported_total", "Entries imported via PUT /v1/snapshot.", ss.Imported)
+		counter("shelleyd_store_snapshot_skipped_total", "Snapshot records skipped on import (duplicate or damaged).", ss.ImportSkipped)
+		gauge("shelleyd_store_entries", "Published entries in the store index.", int64(ss.Entries))
+		gauge("shelleyd_store_bytes", "Total bytes of published entries.", ss.Bytes)
+		degraded := int64(0)
+		if st.Degraded() {
+			degraded = 1
+		}
+		gauge("shelleyd_store_degraded", "1 when the store has seen any filesystem failure since boot (requests still succeed via recompute).", degraded)
+	}
+
 	fmt.Fprintf(b, "# HELP shelleyd_pipeline_stage_total Pipeline-cache counters aggregated over resident modules.\n")
 	fmt.Fprintf(b, "# TYPE shelleyd_pipeline_stage_total counter\n")
 	for _, st := range pipelineStats.Stages {
 		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"hits\"} %d\n", st.Stage, st.Hits)
 		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"misses\"} %d\n", st.Stage, st.Misses)
+		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"persist_hits\"} %d\n", st.Stage, st.PersistHits)
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/check"
 	"github.com/shelley-go/shelley/internal/obs"
+	"github.com/shelley-go/shelley/internal/store"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -126,6 +127,17 @@ type Config struct {
 	// bodies. 0 means 4×MaxSourceBytes.
 	MaxBatchBytes int64
 
+	// Store, when non-nil, is the durable artifact store backing warm
+	// restarts: verified response bodies and whole-class reports are
+	// written behind it, misses read through it, and GET/PUT
+	// /v1/snapshot export/import it. The server uses the store but does
+	// not own it — the caller (cmd/shelleyd) opens it before New and
+	// closes it after Shutdown. nil disables persistence entirely.
+	Store *store.Store
+
+	// MaxSnapshotBytes bounds PUT /v1/snapshot bodies. 0 means 256 MiB.
+	MaxSnapshotBytes int64
+
 	// Limits is the per-request resource budget attached to every
 	// pooled job's context: it bounds automata states, regex sizes, and
 	// counterexample-search nodes so a pathological request returns a
@@ -186,6 +198,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 4 * c.MaxSourceBytes
 	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = 256 << 20
+	}
 	if c.Limits.Unlimited() {
 		c.Limits = budget.Default()
 	}
@@ -204,6 +219,7 @@ type Server struct {
 	mux      *http.ServeMux
 	adm      *admission
 	jobs     *jobStore
+	store    *store.Store // nil when persistence is off
 	draining atomic.Bool
 
 	// submitters tracks every goroutine that may submit pooled work
@@ -241,13 +257,14 @@ func New(cfg Config) *Server {
 	met := newMetrics()
 	s := &Server{
 		cfg:        cfg,
-		modules:    newModuleCache(cfg.MaxModules, met),
+		modules:    newModuleCache(cfg.MaxModules, met, cfg.Store),
 		co:         newCoalescer(),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, met, cfg.jobHook),
 		met:        met,
 		mux:        http.NewServeMux(),
 		adm:        newAdmission(cfg.MaxClientItems, cfg.MaxBatchInflight, met),
 		jobs:       newJobStore(cfg.MaxJobs),
+		store:      cfg.Store,
 		poolClosed: make(chan struct{}),
 		logger:     cfg.Logger,
 	}
@@ -266,6 +283,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/check-batch", s.instrument("check-batch", s.handleCheckBatch))
 	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job-get", s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/snapshot", s.instrument("snapshot-get", s.handleSnapshotGet))
+	s.mux.HandleFunc("PUT /v1/snapshot", s.instrument("snapshot-put", s.handleSnapshotPut))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/trace-export", s.handleTraceExport)
@@ -357,6 +376,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-s.poolClosed:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	// The store's write-behind queue is admitted work too: with every
+	// worker stopped no new Puts can arrive, so flushing here (bounded
+	// by the same drain budget) guarantees a clean shutdown loses no
+	// completed artifact. The caller owns the store and closes it.
+	if s.store != nil {
+		if ferr := s.store.Flush(ctx); ferr != nil && err == nil {
+			err = ferr
+		}
 	}
 	return err
 }
@@ -579,6 +607,42 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 	if err := decodeBody(w, r, s.cfg.MaxSourceBytes, &req); err != nil {
 		return s.writeError(w, http.StatusBadRequest, err.Error())
 	}
+	// The fingerprint is computable without loading anything, and both
+	// body fast paths key on it — so they run before module resolution,
+	// which is what lets a freshly restarted daemon answer a
+	// fingerprint-only check from the durable store without the module
+	// being resident (or its source being re-POSTed) at all.
+	if req.Source == "" && req.Fingerprint == "" {
+		return s.writeError(w, http.StatusBadRequest, "request needs source or fingerprint")
+	}
+	fp := req.Fingerprint
+	if req.Source != "" {
+		computed := client.Fingerprint(req.Source)
+		if fp != "" && fp != computed {
+			return s.writeError(w, http.StatusBadRequest, "fingerprint does not match source")
+		}
+		fp = computed
+	}
+	key := checkKey(fp, req.Class, req.Precise)
+	if body, ok := s.modules.cachedBody(fp, key); ok {
+		// A memoized success is byte-identical to the pooled path's
+		// response (it IS that path's bytes) and needs no scheduling,
+		// budget, or coalescing — answer in the handler goroutine.
+		// Serving before the class-existence check is sound: bodies are
+		// stored only for requests that answered 200, which proves the
+		// class existed in this exact (content-addressed) source.
+		s.met.bodyCacheHits.Add(1)
+		return s.writeRaw(w, http.StatusOK, body)
+	}
+	if body, ok := s.storeBody(key); ok {
+		// Same contract one layer down: a persisted 200 body for this
+		// content-addressed key is the prior process's exact bytes.
+		// Re-memoize it in memory (when the module is resident) so the
+		// next repeat skips the disk too.
+		s.met.storeBodyHits.Add(1)
+		s.modules.storeBody(fp, key, body)
+		return s.writeRaw(w, http.StatusOK, body)
+	}
 	mod, fp, errCode := s.resolveModule(w, r, req.Source, req.Fingerprint)
 	if mod == nil {
 		return errCode
@@ -588,15 +652,20 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) int {
 			return s.writeError(w, http.StatusNotFound, "class "+req.Class+" not found")
 		}
 	}
-	key := checkKey(fp, req.Class, req.Precise)
-	if body, ok := s.modules.cachedBody(fp, key); ok {
-		// A memoized success is byte-identical to the pooled path's
-		// response (it IS that path's bytes) and needs no scheduling,
-		// budget, or coalescing — answer in the handler goroutine.
-		s.met.bodyCacheHits.Add(1)
-		return s.writeRaw(w, http.StatusOK, body)
-	}
 	return s.execute(w, r, key, s.checkFn(mod, fp, req.Class, req.Precise))
+}
+
+// storeBodyKey namespaces persisted response bodies apart from the
+// persisted pipeline artifacts sharing the durable store.
+func storeBodyKey(key string) string { return "body\x00" + key }
+
+// storeBody consults the durable store for a persisted 200 response
+// body. Always a miss without a store.
+func (s *Server) storeBody(key string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	return s.store.Get(storeBodyKey(key))
 }
 
 // checkKey is the canonical coalescing key of a check: shared by
@@ -639,8 +708,14 @@ func (s *Server) checkFn(mod *shelley.Module, fp, class string, precise bool) fu
 		status, body := jsonBody(client.CheckResponse{Fingerprint: fp, OK: ok, Reports: reports})
 		if status == http.StatusOK {
 			// Memoize the settled success so warm repeats skip the pool
-			// entirely (see moduleEntry.bodies). Errors never stick.
-			s.modules.storeBody(fp, checkKey(fp, class, precise), body)
+			// entirely (see moduleEntry.bodies), and write it behind the
+			// durable store so the next process boots warm. Errors never
+			// stick in either layer.
+			key := checkKey(fp, class, precise)
+			s.modules.storeBody(fp, key, body)
+			if s.store != nil {
+				s.store.Put(storeBodyKey(key), body)
+			}
 		}
 		return status, body
 	}
@@ -760,7 +835,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.store != nil && s.store.Degraded() {
+		// Still 200: every store failure degrades to recompute-and-serve,
+		// so the daemon is healthy — but the disk needs an operator.
+		io.WriteString(w, "ok (store degraded)\n")
+		return
+	}
 	io.WriteString(w, "ok\n")
+}
+
+// handleSnapshotGet streams the store's verified entries as one
+// snapshot — the export half of pre-warming a fresh instance.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) int {
+	if s.store == nil {
+		return s.writeError(w, http.StatusNotFound, "no artifact store configured; start shelleyd with -store-dir")
+	}
+	// Catch the write-behind queue up first (bounded by the request's
+	// deadline) so the snapshot includes this process's freshest work; a
+	// flush failure only means those entries are absent, not an error.
+	_ = s.store.Flush(r.Context())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if err := s.store.WriteSnapshot(w); err != nil {
+		// The status line is committed; a mid-stream failure can only
+		// truncate, which the importer's framing detects and rejects.
+		s.met.writeErrors.Add(1)
+	}
+	return http.StatusOK
+}
+
+// handleSnapshotPut imports a snapshot stream into the store. Damaged
+// records are skipped and counted server-side; a structurally broken
+// stream answers 400 (entries imported before the break are kept —
+// they verified individually).
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) int {
+	if s.store == nil {
+		return s.writeError(w, http.StatusNotFound, "no artifact store configured; start shelleyd with -store-dir")
+	}
+	imported, skipped, err := s.store.ReadSnapshot(http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes))
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"snapshot import aborted after %d imported, %d skipped: %v", imported, skipped, err))
+	}
+	status, body := jsonBody(client.SnapshotImportResponse{Imported: imported, Skipped: skipped})
+	return s.writeRaw(w, status, body)
 }
 
 // handleTraceExport serves the in-memory span ring as Chrome
@@ -792,7 +910,7 @@ func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.met.render(&b, s.modules.stats())
+	s.met.render(&b, s.modules.stats(), s.store)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
 }

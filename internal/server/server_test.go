@@ -527,7 +527,7 @@ func TestCoalescerUnit(t *testing.T) {
 // TestModuleCacheEviction keeps residency bounded.
 func TestModuleCacheEviction(t *testing.T) {
 	met := newMetrics()
-	mc := newModuleCache(2, met)
+	mc := newModuleCache(2, met, nil)
 	ctx := context.Background()
 	for i := 0; i < 5; i++ {
 		src := syntheticSource(1, fmt.Sprintf("ev%d", i))

@@ -1,0 +1,165 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error FaultFS returns for a probabilistically
+// injected fault; ErrNoSpace simulates ENOSPC once the byte budget is
+// spent. Both are ordinary errors to the store — it must count them
+// and degrade, never special-case them.
+var (
+	ErrInjected = errors.New("store: injected fault")
+	ErrNoSpace  = errors.New("store: no space left on device (injected)")
+)
+
+// Faults configures FaultFS's misbehavior. The zero value injects
+// nothing.
+type Faults struct {
+	// FailProb is the probability, per FS call, of failing with
+	// ErrInjected instead of running the operation.
+	FailProb float64
+
+	// TornWriteProb is the probability that a WriteFile silently
+	// persists only a prefix of the data and reports success — the
+	// lying-hardware case the checksum trailer exists for.
+	TornWriteProb float64
+
+	// WriteBudget, when positive, is the number of bytes WriteFile may
+	// persist in total before every further write fails with ErrNoSpace.
+	WriteBudget int64
+
+	// Latency is added to every FS call.
+	Latency time.Duration
+}
+
+// FaultFS wraps an inner FS with configurable fault injection. It is
+// the test harness behind the store's recovery guarantees: arm it with
+// a Faults profile and every claimed degradation path actually runs.
+// Construct with NewFaultFS; arm and rearm with SetFaults (an unarmed
+// FaultFS is transparent, so Open can build a healthy store before the
+// test turns the disk hostile).
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	faults  Faults
+	written int64
+
+	injected atomic.Uint64
+	torn     atomic.Uint64
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem) with an
+// unarmed fault injector seeded deterministically.
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetFaults installs (or clears, with the zero value) the fault
+// profile. The ENOSPC byte budget restarts from zero.
+func (f *FaultFS) SetFaults(faults Faults) {
+	f.mu.Lock()
+	f.faults = faults
+	f.written = 0
+	f.mu.Unlock()
+}
+
+// Injected returns the number of calls that failed with an injected
+// error (ErrInjected and ErrNoSpace; torn writes report success and are
+// counted separately by Torn). The store's errors metric must account
+// for every one of these.
+func (f *FaultFS) Injected() uint64 { return f.injected.Load() }
+
+// Torn returns the number of writes that silently persisted a prefix.
+func (f *FaultFS) Torn() uint64 { return f.torn.Load() }
+
+// trip decides one call's fate under the current profile, applying
+// latency and counting any injected failure.
+func (f *FaultFS) trip() error {
+	f.mu.Lock()
+	latency := f.faults.Latency
+	fail := f.faults.FailProb > 0 && f.rng.Float64() < f.faults.FailProb
+	f.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if fail {
+		f.injected.Add(1)
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.trip(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.trip(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if b := f.faults.WriteBudget; b > 0 && f.written+int64(len(data)) > b {
+		f.mu.Unlock()
+		f.injected.Add(1)
+		return ErrNoSpace
+	}
+	f.written += int64(len(data))
+	tear := f.faults.TornWriteProb > 0 && f.rng.Float64() < f.faults.TornWriteProb
+	f.mu.Unlock()
+	if tear && len(data) > 0 {
+		f.torn.Add(1)
+		// Persist a prefix and lie about it: the rename will publish a
+		// frame whose checksum cannot verify, which is exactly the
+		// damage the read path must quarantine.
+		return f.inner.WriteFile(path, data[:len(data)/2])
+	}
+	return f.inner.WriteFile(path, data)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) Stat(path string) (int64, time.Time, error) {
+	if err := f.trip(); err != nil {
+		return 0, time.Time{}, err
+	}
+	return f.inner.Stat(path)
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// FS is the narrow filesystem surface the store performs all its I/O
+// through. Production uses OSFS; tests inject FaultFS to prove that
+// every failure mode — error returns, torn writes, latency, ENOSPC —
+// degrades to recompute-and-serve instead of failing requests.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+
+	// ReadDir lists the file names (not subdirectories) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+
+	// ReadFile returns the full content of path.
+	ReadFile(path string) ([]byte, error)
+
+	// WriteFile creates (or truncates) path with data and syncs it to
+	// stable storage before returning — the "write to temp, fsync" half
+	// of the store's atomic-publish protocol.
+	WriteFile(path string, data []byte) error
+
+	// Rename atomically replaces newpath with oldpath — the "atomic
+	// rename" half of the publish protocol.
+	Rename(oldpath, newpath string) error
+
+	// Remove deletes path.
+	Remove(path string) error
+
+	// Stat returns the size and modification time of path.
+	Stat(path string) (size int64, mtime time.Time, err error)
+}
+
+// OSFS is the production FS backed by the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	// The sync is what makes the later rename a commit point: without
+	// it a crash can publish a name whose bytes never reached the disk.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Stat(path string) (int64, time.Time, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	return fi.Size(), fi.ModTime(), nil
+}
+
+// join builds FS paths with the platform separator; kept here so Store
+// never imports path/filepath directly in its logic.
+func join(elem ...string) string { return filepath.Join(elem...) }

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot stream layout: a 6-byte header (magic "SHSN" + u16 version,
+// little-endian) followed by zero or more records, each a u64
+// little-endian length and one entry frame (the same self-verifying
+// Encode format as the on-disk files, checksum included). Entries
+// carry their own integrity, so an import trusts nothing: every record
+// is re-verified and a damaged one is skipped and counted.
+const (
+	snapshotMagic   = "SHSN"
+	snapshotVersion = 1
+)
+
+// ErrSnapshot is wrapped by structural snapshot-stream failures (bad
+// header, impossible record length, truncated framing). Unlike a bad
+// entry — which is skipped — a broken stream aborts the import, since
+// record boundaries can no longer be trusted.
+var ErrSnapshot = errors.New("store: invalid snapshot stream")
+
+// WriteSnapshot streams every verified entry to w — the export half of
+// instance pre-warming. Entries that fail verification on the way out
+// are quarantined and skipped, exactly like a failed Get.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	var header [6]byte
+	copy(header[:], snapshotMagic)
+	binary.LittleEndian.PutUint16(header[4:], snapshotVersion)
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	type ref struct{ key, name string }
+	refs := make([]ref, 0, len(s.index))
+	for k, m := range s.index {
+		refs = append(refs, ref{key: k, name: m.name})
+	}
+	s.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].key < refs[j].key })
+
+	var lenBuf [8]byte
+	for _, r := range refs {
+		raw, err := s.fs.ReadFile(join(s.objDir, r.name))
+		if err != nil {
+			s.errors.Add(1)
+			continue
+		}
+		if gotKey, _, err := Decode(raw); err != nil || gotKey != r.key {
+			s.corrupt.Add(1)
+			s.mu.Lock()
+			if cur, ok := s.index[r.key]; ok && cur.name == r.name {
+				delete(s.index, r.key)
+				s.totalBytes -= cur.size
+			}
+			s.mu.Unlock()
+			s.quarantine(r.name)
+			continue
+		}
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(raw)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot imports a snapshot stream, writing each new verified
+// entry synchronously (the importer wants durability when the call
+// returns, unlike the serving hot path). Damaged or duplicate entries
+// are skipped and counted; a structurally broken stream aborts with an
+// error wrapping ErrSnapshot. Imported entries count as warm — they
+// predate this process's own work.
+func (s *Store) ReadSnapshot(r io.Reader) (imported, skipped int, err error) {
+	var header [6]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: reading header: %v", ErrSnapshot, err)
+	}
+	if string(header[:4]) != snapshotMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrSnapshot, header[:4])
+	}
+	if v := binary.LittleEndian.Uint16(header[4:]); v != snapshotVersion {
+		return 0, 0, fmt.Errorf("%w: version %d (this build reads %d)", ErrSnapshot, v, snapshotVersion)
+	}
+	var lenBuf [8]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return imported, skipped, nil
+			}
+			return imported, skipped, fmt.Errorf("%w: reading record length: %v", ErrSnapshot, err)
+		}
+		n := binary.LittleEndian.Uint64(lenBuf[:])
+		if n > uint64(headerSize+maxKeyLen+maxPayloadLen+trailerSize) {
+			return imported, skipped, fmt.Errorf("%w: implausible record length %d", ErrSnapshot, n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return imported, skipped, fmt.Errorf("%w: truncated record: %v", ErrSnapshot, err)
+		}
+		key, payload, derr := Decode(blob)
+		if derr != nil {
+			s.corrupt.Add(1)
+			s.importSkipped.Add(1)
+			skipped++
+			continue
+		}
+		s.mu.Lock()
+		_, dup := s.index[key]
+		closed := s.closed
+		s.mu.Unlock()
+		if dup || closed {
+			s.importSkipped.Add(1)
+			skipped++
+			continue
+		}
+		if s.write(key, payload, true) {
+			s.imported.Add(1)
+			imported++
+		} else {
+			s.importSkipped.Add(1)
+			skipped++
+		}
+	}
+}

@@ -236,6 +236,31 @@ func LoadFilesContext(ctx context.Context, paths ...string) (*Module, error) {
 // disabled the snapshot is all zeroes.
 func (m *Module) PipelineStats() PipelineStats { return m.cache.Stats() }
 
+// ReportPersister is the durable artifact store surface PersistReports
+// accepts: a concurrency-safe, best-effort byte store (internal/store's
+// Store satisfies it). Get failures must surface as misses and Put must
+// never block — the cache treats persistence as strictly optional.
+type ReportPersister interface {
+	// Get returns the payload persisted under key, or ok=false.
+	Get(key string) ([]byte, bool)
+
+	// Put persists payload under key, best-effort.
+	Put(key string, payload []byte)
+}
+
+// PersistReports attaches a durable read-through/write-behind layer to
+// the module's report stage: a whole-class report missing from the
+// in-memory cache is looked up in p before being recomputed, and every
+// freshly computed report is serialized and handed to p.Put. Reports
+// are content-addressed (class fingerprint, analysis mode, budget, and
+// subsystem fingerprints), so persisted entries never need
+// invalidation, and only successful reports are persisted — errors
+// always recompute. Attach before serving traffic; a nil p detaches.
+// With caching disabled the call is a no-op.
+func (m *Module) PersistReports(p ReportPersister) {
+	m.cache.Persist(pipeline.StageReport, p, check.ReportCodec())
+}
+
 // SetPipelineCaching turns the module's memoization cache on or off.
 // Turning it on installs a fresh (empty) cache; turning it off makes
 // every subsequent analysis recompute from scratch — the differential
