@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/internal/mine"
 )
 
 // Fingerprint returns the content fingerprint of a MicroPython source
@@ -227,6 +228,40 @@ type SnapshotImportResponse struct {
 
 	Imported int `json:"imported"`
 	Skipped  int `json:"skipped"`
+}
+
+// IngestEvent is one NDJSON line of a POST /v1/ingest frame: one
+// observed usage (or usage prefix) of one class on one device. ClassFP
+// is "<module-fingerprint>/<ClassName>"; Status is "ok"/"" for a
+// complete usage, "partial"/"error" for a prefix. Aliased from the
+// miner's wire type so daemon and client can never drift.
+type IngestEvent = mine.Event
+
+// IngestResponse is the 200 body of POST /v1/ingest: what happened to
+// each decoded observation. Shed observations were dropped by a corpus
+// bound (counted, never blocked); malformed and oversize lines were
+// skipped without failing the frame.
+type IngestResponse struct {
+	ResponseMeta
+
+	Received  int `json:"received"`
+	Accepted  int `json:"accepted"`
+	Shed      int `json:"shed"`
+	Malformed int `json:"malformed,omitempty"`
+	Oversize  int `json:"oversize,omitempty"`
+}
+
+// DriftReport is one class's conformance-drift verdict: "conformant",
+// "under-approximated" (fleet inside the static model but not covering
+// it), or "DRIFT" with a shortest offending trace. Aliased from the
+// miner's wire type.
+type DriftReport = mine.Report
+
+// DriftResponse is the body of GET /v1/drift.
+type DriftResponse struct {
+	ResponseMeta
+
+	Reports []DriftReport `json:"reports"`
 }
 
 // JobAccepted is the 202 body of POST /v1/jobs.

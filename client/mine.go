@@ -1,0 +1,78 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Ingest POSTs one frame of trace observations to /v1/ingest, encoded
+// as NDJSON (one IngestEvent per line). The daemon buffers observations
+// in bounded per-class corpora and mines them in the background —
+// ingest never waits on learning. Admission refusals (429/503) carry a
+// Retry-After hint and are safe to retry: a refused frame ingested
+// nothing. Under WithRetry they are retried automatically.
+func (c *Client) Ingest(ctx context.Context, events []IngestEvent) (*IngestResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return nil, fmt.Errorf("client: encoding ingest frame: %w", err)
+		}
+	}
+	frame := buf.Bytes()
+	var resp IngestResponse
+	if err := c.withRetry(ctx, func() error { return c.ingestOnce(ctx, frame, &resp) }); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) ingestOnce(ctx context.Context, frame []byte, resp *IngestResponse) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/x-ndjson")
+	c.setHeaders(httpReq)
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode/100 != 2 {
+		return apiError(httpResp, raw)
+	}
+	if err := json.Unmarshal(raw, resp); err != nil {
+		return fmt.Errorf("client: decoding /v1/ingest response: %w", err)
+	}
+	resp.setTraceID(httpResp.Header.Get("X-Shelley-Trace"))
+	return nil
+}
+
+// Drift GETs /v1/drift: every tracked class's current conformance
+// verdict from the daemon's last mining round. Pass a class fingerprint
+// to filter to one class; empty returns all.
+func (c *Client) Drift(ctx context.Context, classFP string) (*DriftResponse, error) {
+	path := "/v1/drift"
+	if classFP != "" {
+		path += "?class=" + url.QueryEscape(classFP)
+	}
+	body, err := c.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	var resp DriftResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		return nil, fmt.Errorf("client: decoding /v1/drift response: %w", err)
+	}
+	return &resp, nil
+}

@@ -22,8 +22,9 @@
 // per-batch latency percentiles.
 //
 // Endpoints: POST /v1/check, /v1/check-batch, /v1/jobs, /v1/infer,
-// /v1/trace; GET /v1/jobs/{id}, /healthz, /metrics. See
-// docs/TUTORIAL.md §9 and §12 for a curl quickstart.
+// /v1/trace, /v1/ingest (-mine); GET /v1/jobs/{id}, /v1/drift (-mine),
+// /healthz, /metrics. See docs/TUTORIAL.md §9 and §12 for a curl
+// quickstart, §14 for model mining and drift detection.
 package main
 
 import (
@@ -90,6 +91,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	maxRegex := fs.Int("max-regex", 0, "per-request bound on regex size (0 = production default)")
 	storeDir := fs.String("store-dir", "", "durable artifact store directory for warm restarts (empty = persistence off)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "artifact store byte bound, LRU-evicted (0 = unbounded)")
+	mineOn := fs.Bool("mine", false, "enable trace ingestion (POST /v1/ingest) and background model mining with drift detection (GET /v1/drift)")
+	mineInterval := fs.Duration("mine-interval", 0, "mining-loop period (0 = 5s)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -105,6 +108,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 		MaxModules:     *maxModules,
 		Tracing:        *traceFile != "" || *traceRing > 0,
 		TraceRingSize:  *traceRing,
+		Mine:           *mineOn,
+		MineInterval:   *mineInterval,
 	}
 	if *maxStates > 0 || *maxRegex > 0 {
 		cfg.Limits = shelley.Budget{

@@ -1,13 +1,18 @@
 // Command shelleytrace experiments with the paper's imperative calculus
 // (Fig. 4) directly: it parses a program in the calculus's concrete
 // syntax, runs behavior inference, decides trace membership, and
-// enumerates the trace language.
+// enumerates the trace language. It doubles as the fleet simulator of
+// the mining subsystem: -record samples production-shaped traces from a
+// class's statically inferred model, -replay streams a recorded NDJSON
+// file into a live daemon's /v1/ingest and reports the drift verdicts.
 //
 // Usage:
 //
 //	shelleytrace -program "loop(*) { a(); if(*) { b(); return } else { c() } }" [flags]
+//	shelleytrace -record -source mod.py -class Valve [-n N] [-devices D] [-drift K] > traces.ndjson
+//	shelleytrace -replay traces.ndjson [-addr URL] [-batch B] [-rate N]
 //
-// Flags:
+// Flags (calculus mode):
 //
 //	-infer            print ⟦p⟧ = (r, s) and infer(p)          (default)
 //	-member a,c,a,b   decide s ⊢ l ∈ p for both statuses
@@ -16,12 +21,19 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
+	shelley "github.com/shelley-go/shelley"
+	"github.com/shelley-go/shelley/client"
 	"github.com/shelley-go/shelley/internal/core"
 	"github.com/shelley-go/shelley/internal/ir"
 	"github.com/shelley-go/shelley/internal/regex"
@@ -37,15 +49,33 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("shelleytrace", flag.ContinueOnError)
-	programSrc := fs.String("program", "", "program in the calculus syntax (required)")
+	programSrc := fs.String("program", "", "program in the calculus syntax (required in calculus mode)")
 	member := fs.String("member", "", "comma-separated trace to test for membership")
 	enumerate := fs.Int("enumerate", -1, "enumerate traces up to this length")
 	simplify := fs.Bool("simplify", false, "also print the normalized inferred expression")
+	record := fs.Bool("record", false, "record mode: sample NDJSON trace observations from a class's static model to stdout")
+	source := fs.String("source", "", "record: MicroPython source file of the module")
+	class := fs.String("class", "", "record: class to sample")
+	n := fs.Int("n", 64, "record: conforming observations to sample")
+	devices := fs.Int("devices", 8, "record: devices to spread observations over")
+	drift := fs.Int("drift", 0, "record: off-model observations to inject from a rogue device")
+	maxLen := fs.Int("maxlen", 10, "record: random-walk length bound per trace")
+	seed := fs.Int64("seed", 1, "record: sampling seed")
+	replay := fs.String("replay", "", "replay mode: NDJSON trace file to stream into a daemon (- for stdin)")
+	addr := fs.String("addr", "http://127.0.0.1:9944", "replay: daemon base URL")
+	batch := fs.Int("batch", 64, "replay: observations per /v1/ingest frame")
+	rate := fs.Int("rate", 0, "replay: target observations/s (0 = as fast as the daemon admits)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *record {
+		return runRecord(out, *source, *class, *n, *devices, *drift, *maxLen, *seed)
+	}
+	if *replay != "" {
+		return runReplay(out, *replay, *addr, *batch, *rate)
+	}
 	if *programSrc == "" {
-		return fmt.Errorf(`-program is required, e.g. -program "loop(*) { a(); return }"`)
+		return fmt.Errorf(`-program is required, e.g. -program "loop(*) { a(); return }" (or use -record / -replay)`)
 	}
 	p, err := ir.Parse(*programSrc)
 	if err != nil {
@@ -75,6 +105,164 @@ func run(args []string, out io.Writer) error {
 		for _, e := range trace.Enumerate(p, *enumerate) {
 			fmt.Fprintf(out, "%s |- [%s]\n", e.Status, strings.Join(e.Trace, ", "))
 		}
+	}
+	return nil
+}
+
+// runRecord samples a production-shaped NDJSON trace log from a class's
+// statically inferred model: n conforming observations (uniform random
+// walks over the spec DFA) spread across a device fleet, plus an
+// optional handful of off-model observations from a "rogue" device —
+// exactly the drifting firmware a daemon's miner is meant to flag.
+func runRecord(out io.Writer, source, class string, n, devices, drift, maxLen int, seed int64) error {
+	if source == "" || class == "" {
+		return fmt.Errorf("-record needs -source FILE.py and -class Name")
+	}
+	raw, err := os.ReadFile(source)
+	if err != nil {
+		return err
+	}
+	mod, err := shelley.LoadSource(string(raw))
+	if err != nil {
+		return err
+	}
+	cls, ok := mod.Class(class)
+	if !ok {
+		return fmt.Errorf("class %s not found in %s", class, source)
+	}
+	spec, err := cls.SpecDFA("")
+	if err != nil {
+		return err
+	}
+	classFP := client.Fingerprint(string(raw)) + "/" + class
+	rng := rand.New(rand.NewSource(seed))
+	if devices <= 0 {
+		devices = 1
+	}
+	enc := json.NewEncoder(out)
+	sampled := 0
+	for i := 0; i < n; i++ {
+		tr, ok := spec.RandomAccepted(rng, maxLen)
+		if !ok {
+			break
+		}
+		// The random walk stops at every accepting state it meets, so
+		// specs that accept the empty usage yield a lot of empty traces.
+		// Those carry no signal for the miner — resample a few times for
+		// a non-empty one (keeping the empty trace only when the spec
+		// accepts nothing else within maxLen).
+		for retry := 0; len(tr) == 0 && retry < 16; retry++ {
+			if resampled, ok := spec.RandomAccepted(rng, maxLen); ok && len(resampled) > 0 {
+				tr = resampled
+			}
+		}
+		ev := client.IngestEvent{
+			ClassFP: classFP,
+			Device:  fmt.Sprintf("dev-%03d", i%devices),
+			Events:  tr,
+			Status:  "ok",
+		}
+		if err := enc.Encode(&ev); err != nil {
+			return err
+		}
+		sampled++
+	}
+	if sampled == 0 {
+		return fmt.Errorf("spec of %s accepts no trace within -maxlen %d", class, maxLen)
+	}
+	injected := 0
+	if drift > 0 {
+		for _, cand := range spec.Complement().EnumerateAccepted(4) {
+			if len(cand) == 0 {
+				continue
+			}
+			ev := client.IngestEvent{ClassFP: classFP, Device: "rogue", Events: cand, Status: "ok"}
+			if err := enc.Encode(&ev); err != nil {
+				return err
+			}
+			if injected++; injected >= drift {
+				break
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "shelleytrace: recorded %d conforming + %d drifting observations for %s\n",
+		sampled, injected, classFP)
+	return nil
+}
+
+// runReplay streams a recorded NDJSON trace file into a live daemon in
+// -batch sized /v1/ingest frames, pacing to -rate observations/s when
+// one is set and honoring Retry-After on admission refusals, then
+// fetches /v1/drift and prints each class's verdict — the whole
+// fleet-to-alert loop in one command.
+func runReplay(out io.Writer, path, addr string, batchSize, rate int) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var events []client.IngestEvent
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev client.IngestEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // the daemon would count it malformed; skip client-side
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no observations in %s", path)
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	cl := client.New(addr, client.WithRetry(client.RetryPolicy{}))
+	ctx := context.Background()
+	var sent, accepted, shed int
+	start := time.Now()
+	for off := 0; off < len(events); off += batchSize {
+		end := min(off+batchSize, len(events))
+		resp, err := cl.Ingest(ctx, events[off:end])
+		if err != nil {
+			return fmt.Errorf("ingest frame at offset %d: %w", off, err)
+		}
+		sent += resp.Received
+		accepted += resp.Accepted
+		shed += resp.Shed
+		if rate > 0 {
+			// Pace against the wall clock so admission backoffs above do
+			// not compound with the target rate.
+			ahead := time.Duration(sent)*time.Second/time.Duration(rate) - time.Since(start)
+			if ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "replayed %d observations in %s (%.0f obs/s): %d accepted, %d shed\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), accepted, shed)
+	dr, err := cl.Drift(ctx, "")
+	if err != nil {
+		return fmt.Errorf("fetching drift verdicts: %w", err)
+	}
+	for _, rep := range dr.Reports {
+		line := fmt.Sprintf("%s: %s (%d traces, %d devices)", rep.ClassFP, rep.Verdict, rep.Traces, rep.Devices)
+		if len(rep.Counterexample) > 0 {
+			line += fmt.Sprintf(" counterexample=[%s]", strings.Join(rep.Counterexample, ", "))
+		}
+		fmt.Fprintln(out, line)
 	}
 	return nil
 }

@@ -1,0 +1,80 @@
+package automata
+
+import (
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := NewDFA([]string{"close", "open", "read"})
+	s1 := d.AddState(false)
+	s2 := d.AddState(true)
+	for _, tr := range []struct {
+		from int
+		sym  string
+		to   int
+	}{{0, "open", s1}, {s1, "read", s1}, {s1, "close", s2}} {
+		if err := d.AddTransition(tr.from, tr.sym, tr.to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex, same := Distinguish(d, got); !same {
+		t.Fatalf("round trip changed the language; distinguished by %v", cex)
+	}
+	if got.NumStates() != d.NumStates() {
+		t.Fatalf("round trip changed state count: %d != %d", got.NumStates(), d.NumStates())
+	}
+
+	// Deterministic bytes: same DFA, same encoding.
+	again, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("encoding not deterministic:\n%s\n%s", data, again)
+	}
+}
+
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	for name, data := range map[string]string{
+		"not json":          `{"alphabet": [`,
+		"no states":         `{"alphabet":["a"],"accept":[],"trans":[]}`,
+		"shape mismatch":    `{"alphabet":["a"],"accept":[true,false],"trans":[[0]]}`,
+		"row too short":     `{"alphabet":["a","b"],"accept":[true],"trans":[[0]]}`,
+		"target overflow":   `{"alphabet":["a"],"accept":[true],"trans":[[7]]}`,
+		"target negative":   `{"alphabet":["a"],"accept":[true],"trans":[[-2]]}`,
+		"unsorted alphabet": `{"alphabet":["b","a"],"accept":[true],"trans":[[-1,-1]]}`,
+		"dup alphabet":      `{"alphabet":["a","a"],"accept":[true],"trans":[[-1,-1]]}`,
+	} {
+		if _, err := Unmarshal([]byte(data)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestCodecKeepsLanguageWithUnreachableStates(t *testing.T) {
+	d := NewDFA([]string{"a"})
+	d.AddState(true) // unreachable
+	live := d.AddState(true)
+	if err := d.AddTransition(0, "a", live); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex, same := Distinguish(d, got); !same {
+		t.Fatalf("marshal of DFA with unreachable states changed language; cex %v", cex)
+	}
+}

@@ -13,11 +13,13 @@
 package learn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 )
 
 // Teacher answers the two query types of the L* setting.
@@ -82,6 +84,16 @@ type Config struct {
 	// MaxRounds bounds the main loop as a safety net against
 	// non-conforming teachers; the zero value means 10000.
 	MaxRounds int
+
+	// MaxQueries caps distinct membership queries (LStarCtx only). The
+	// zero value means unlimited. A tripped cap surfaces as an error
+	// matching errors.Is(err, budget.ErrExceeded).
+	MaxQueries int
+
+	// MaxStates caps hypothesis states (LStarCtx only). The zero value
+	// falls back to the MaxDFAStates limit carried by the context
+	// (internal/budget); zero there too means unlimited.
+	MaxStates int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,27 +110,65 @@ func (c Config) withDefaults() Config {
 // an inconsistent teacher (or a bound set too low).
 var ErrBudgetExhausted = errors.New("learn: round budget exhausted")
 
-// LStar learns a DFA from the teacher.
+// LStar learns a DFA from the teacher with no context and no query
+// budget; it is LStarCtx under a background context.
 func LStar(t Teacher, cfg Config) (*Result, error) {
+	return LStarCtx(context.Background(), t, cfg)
+}
+
+// LStarCtx learns a DFA from the teacher under a context. Cancellation
+// is polled once per round and (amortized) once per membership query,
+// so a fired deadline stops the run mid-table instead of after it; the
+// error then matches errors.Is(err, budget.ErrCanceled). Resource
+// limits — cfg.MaxQueries on membership queries, cfg.MaxStates (or the
+// context's budget.Limits.MaxDFAStates) on hypothesis states — trip a
+// structured error matching errors.Is(err, budget.ErrExceeded), so a
+// pathological teacher (a non-regular target language, a fleet of
+// adversarial devices) costs bounded work instead of pinning a worker.
+func LStarCtx(ctx context.Context, t Teacher, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = budget.From(ctx).MaxDFAStates
+	}
 	l := &learner{
-		teacher:  t,
-		alphabet: t.Alphabet(),
-		cache:    make(map[string]bool),
-		result:   &Result{},
+		teacher:   t,
+		alphabet:  t.Alphabet(),
+		cache:     make(map[string]bool),
+		rows:      make(map[string]*rowEntry),
+		result:    &Result{},
+		gate:      budget.NewGate(ctx, "lstar", "membership-queries", cfg.MaxQueries),
+		ctx:       ctx,
+		maxStates: maxStates,
 	}
 	l.access = [][]string{{}}   // S = {ε}
 	l.suffixes = [][]string{{}} // E = {ε}
 
 	for round := 0; round < cfg.MaxRounds; round++ {
+		if cause := ctx.Err(); cause != nil {
+			return nil, fmt.Errorf("learn: %w", &budget.CancelErr{Op: "lstar", Cause: cause})
+		}
 		l.result.Rounds++
-		if l.close() {
+		changed, err := l.close()
+		if err != nil {
+			return nil, err
+		}
+		if changed {
 			continue // closedness repair changed the table; re-check
 		}
-		if cfg.Strategy == ClassicAngluin && l.restoreConsistency() {
-			continue
+		if cfg.Strategy == ClassicAngluin {
+			changed, err := l.restoreConsistency()
+			if err != nil {
+				return nil, err
+			}
+			if changed {
+				continue
+			}
 		}
-		hyp := l.hypothesis()
+		hyp, err := l.hypothesis()
+		if err != nil {
+			return nil, err
+		}
 		l.result.EquivalenceQueries++
 		counterexample, ok := l.teacher.Equivalent(hyp)
 		if ok {
@@ -127,99 +177,175 @@ func LStar(t Teacher, cfg Config) (*Result, error) {
 			l.result.DFA = hyp.Minimize()
 			return l.result, nil
 		}
-		if l.member(counterexample) == hyp.Accepts(counterexample) {
+		got, err := l.member(counterexample)
+		if err != nil {
+			return nil, err
+		}
+		if got == hyp.Accepts(counterexample) {
 			return nil, fmt.Errorf("learn: teacher returned invalid counterexample %v", counterexample)
 		}
 		switch cfg.Strategy {
 		case ClassicAngluin:
 			l.addAllPrefixes(counterexample)
 		default:
-			l.addDistinguishingSuffix(hyp, counterexample)
+			if err := l.addDistinguishingSuffix(hyp, counterexample); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return nil, ErrBudgetExhausted
 }
 
 type learner struct {
-	teacher  Teacher
-	alphabet []string
-	cache    map[string]bool
-	result   *Result
+	teacher   Teacher
+	alphabet  []string
+	cache     map[string]bool
+	rows      map[string]*rowEntry
+	result    *Result
+	gate      *budget.Gate
+	ctx       context.Context
+	maxStates int
 
 	access   [][]string // S, prefix-closed
 	suffixes [][]string // E, suffix set
 }
 
-func (l *learner) member(trace []string) bool {
-	k := traceKey(trace)
+// rowEntry is one prefix's memoized observation row. Both S and E only
+// ever grow, so a row computed against the first `upto` suffixes stays
+// valid forever and later rounds extend it with the new suffixes'
+// entries only — without this, every closedness pass recomputes
+// O(|S|·|A|·|E|) cached lookups (each one a slice concat plus a long
+// map key), which dominates learning time on corpus-sized tables.
+type rowEntry struct {
+	bits []byte
+	upto int // suffixes incorporated into bits
+	str  string
+}
+
+func (l *learner) member(trace []string) (bool, error) {
+	return l.memberPS(trace, nil)
+}
+
+// memberPS asks membership of prefix·suffix without materializing the
+// concatenated trace unless the cache misses.
+func (l *learner) memberPS(prefix, suffix []string) (bool, error) {
+	k := traceKey2(prefix, suffix)
 	if v, ok := l.cache[k]; ok {
-		return v
+		return v, nil
+	}
+	if err := l.gate.Tick(); err != nil {
+		return false, fmt.Errorf("learn: %w", err)
+	}
+	trace := prefix
+	if len(suffix) > 0 {
+		trace = concat(prefix, suffix)
 	}
 	v := l.teacher.Member(trace)
 	l.cache[k] = v
 	l.result.MembershipQueries++
-	return v
+	return v, nil
 }
 
-// row computes the observation row of a prefix.
-func (l *learner) row(prefix []string) string {
-	var b strings.Builder
-	for _, e := range l.suffixes {
-		if l.member(concat(prefix, e)) {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
-		}
+// row returns the observation row of a prefix, extending the memoized
+// entry by any suffixes added since it was last computed.
+func (l *learner) row(prefix []string) (string, error) {
+	k := traceKey(prefix)
+	e := l.rows[k]
+	if e == nil {
+		e = &rowEntry{}
+		l.rows[k] = e
 	}
-	return b.String()
+	if e.upto < len(l.suffixes) {
+		for ; e.upto < len(l.suffixes); e.upto++ {
+			v, err := l.memberPS(prefix, l.suffixes[e.upto])
+			if err != nil {
+				return "", err
+			}
+			if v {
+				e.bits = append(e.bits, '1')
+			} else {
+				e.bits = append(e.bits, '0')
+			}
+		}
+		e.str = string(e.bits)
+	}
+	return e.str, nil
 }
 
 // close repairs closedness: every one-step extension of an access string
 // must match some access row. It returns true when the table changed.
-func (l *learner) close() bool {
+// Distinct rows are hypothesis states, so this is also where the state
+// budget is enforced.
+func (l *learner) close() (bool, error) {
 	rows := make(map[string]struct{}, len(l.access))
 	for _, s := range l.access {
-		rows[l.row(s)] = struct{}{}
+		r, err := l.row(s)
+		if err != nil {
+			return false, err
+		}
+		rows[r] = struct{}{}
+	}
+	if l.maxStates > 0 && len(rows) > l.maxStates {
+		return false, fmt.Errorf("learn: %w", budget.Exceeded(l.ctx, "lstar", "dfa-states", l.maxStates))
 	}
 	for _, s := range l.access {
 		for _, a := range l.alphabet {
 			ext := concat(s, []string{a})
-			if _, ok := rows[l.row(ext)]; !ok {
+			r, err := l.row(ext)
+			if err != nil {
+				return false, err
+			}
+			if _, ok := rows[r]; !ok {
 				l.access = append(l.access, ext)
-				return true
+				return true, nil
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // restoreConsistency (classic L* only): if two access strings share a
 // row but their one-step extensions differ, the distinguishing suffix
 // a·e is added to E. Returns true when the table changed.
-func (l *learner) restoreConsistency() bool {
+func (l *learner) restoreConsistency() (bool, error) {
 	for i := 0; i < len(l.access); i++ {
 		for j := i + 1; j < len(l.access); j++ {
-			if l.row(l.access[i]) != l.row(l.access[j]) {
+			ri, err := l.row(l.access[i])
+			if err != nil {
+				return false, err
+			}
+			rj, err := l.row(l.access[j])
+			if err != nil {
+				return false, err
+			}
+			if ri != rj {
 				continue
 			}
 			for _, a := range l.alphabet {
 				exti := concat(l.access[i], []string{a})
 				extj := concat(l.access[j], []string{a})
-				for ei, e := range l.suffixes {
-					if l.member(concat(exti, e)) != l.member(concat(extj, e)) {
-						_ = ei
+				for _, e := range l.suffixes {
+					vi, err := l.memberPS(exti, e)
+					if err != nil {
+						return false, err
+					}
+					vj, err := l.memberPS(extj, e)
+					if err != nil {
+						return false, err
+					}
+					if vi != vj {
 						l.suffixes = append(l.suffixes, concat([]string{a}, e))
-						return true
+						return true, nil
 					}
 				}
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // hypothesis builds the conjectured DFA from the closed table.
-func (l *learner) hypothesis() *automata.DFA {
+func (l *learner) hypothesis() (*automata.DFA, error) {
 	// One state per distinct row; the representative is the first access
 	// string with that row.
 	d := automata.NewDFA(l.alphabet)
@@ -227,29 +353,46 @@ func (l *learner) hypothesis() *automata.DFA {
 	var reps [][]string
 
 	// ε must be state 0 (the DFA's start).
-	epsRow := l.row([]string{})
+	epsRow, err := l.row([]string{})
+	if err != nil {
+		return nil, err
+	}
 	stateOf[epsRow] = d.Start()
-	d.SetAccepting(d.Start(), l.member(nil))
+	epsAcc, err := l.member(nil)
+	if err != nil {
+		return nil, err
+	}
+	d.SetAccepting(d.Start(), epsAcc)
 	reps = append(reps, []string{})
 
 	for _, s := range l.access {
-		r := l.row(s)
+		r, err := l.row(s)
+		if err != nil {
+			return nil, err
+		}
 		if _, ok := stateOf[r]; ok {
 			continue
 		}
-		id := d.AddState(l.member(s))
+		acc, err := l.member(s)
+		if err != nil {
+			return nil, err
+		}
+		id := d.AddState(acc)
 		stateOf[r] = id
 		reps = append(reps, s)
 	}
 	for i, rep := range reps {
 		for _, a := range l.alphabet {
-			target := l.row(concat(rep, []string{a}))
+			target, err := l.row(concat(rep, []string{a}))
+			if err != nil {
+				return nil, err
+			}
 			if to, ok := stateOf[target]; ok {
 				_ = d.AddTransition(i, a, to)
 			}
 		}
 	}
-	return d
+	return d, nil
 }
 
 // addAllPrefixes is the classic counterexample step.
@@ -271,21 +414,28 @@ func (l *learner) addAllPrefixes(counterexample []string) {
 // addDistinguishingSuffix is the Rivest–Schapire step: binary-search the
 // position where the hypothesis's state abstraction stops agreeing with
 // the teacher, and add the corresponding suffix to E.
-func (l *learner) addDistinguishingSuffix(hyp *automata.DFA, counterexample []string) {
+func (l *learner) addDistinguishingSuffix(hyp *automata.DFA, counterexample []string) error {
 	// accessOf maps hypothesis states to their representative access
 	// strings, reconstructed by replaying the access set.
 	accessOf := l.stateAccess(hyp)
 
 	// score(i): membership of access(state after w[:i]) · w[i:].
-	score := func(i int) bool {
+	score := func(i int) (bool, error) {
 		st := hyp.Run(counterexample[:i])
-		return l.member(concat(accessOf[st], counterexample[i:]))
+		return l.memberPS(accessOf[st], counterexample[i:])
 	}
 	lo, hi := 0, len(counterexample)
-	want := score(0) // == member(counterexample)
+	want, err := score(0) // == member(counterexample)
+	if err != nil {
+		return err
+	}
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if score(mid) == want {
+		v, err := score(mid)
+		if err != nil {
+			return err
+		}
+		if v == want {
 			lo = mid
 		} else {
 			hi = mid
@@ -299,10 +449,11 @@ func (l *learner) addDistinguishingSuffix(hyp *automata.DFA, counterexample []st
 			// Already present (can happen with a stale hypothesis); fall
 			// back to the classic step to guarantee progress.
 			l.addAllPrefixes(counterexample)
-			return
+			return nil
 		}
 	}
 	l.suffixes = append(l.suffixes, suffix)
+	return nil
 }
 
 // stateAccess returns, per hypothesis state, an access string reaching
@@ -327,11 +478,27 @@ func concat(a, b []string) []string {
 	return append(out, b...)
 }
 
-func traceKey(t []string) string {
-	var b strings.Builder
-	for _, s := range t {
-		b.WriteString(s)
-		b.WriteByte(0)
+func traceKey(t []string) string { return traceKey2(t, nil) }
+
+// traceKey2 is traceKey(concat(a, b)) without building the
+// concatenation.
+func traceKey2(a, b []string) string {
+	n := 0
+	for _, s := range a {
+		n += len(s) + 1
 	}
-	return b.String()
+	for _, s := range b {
+		n += len(s) + 1
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	for _, s := range a {
+		sb.WriteString(s)
+		sb.WriteByte(0)
+	}
+	for _, s := range b {
+		sb.WriteString(s)
+		sb.WriteByte(0)
+	}
+	return sb.String()
 }

@@ -1,0 +1,161 @@
+package learn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
+)
+
+// primeTeacher answers membership for the non-regular language
+// { a^n | n prime }. L* over it never converges: every hypothesis draws
+// a counterexample, the table grows without bound, and before LStarCtx
+// existed a learner pointed at such a teacher pinned a worker until
+// MaxRounds (10000) elapsed. The tests below pin that the query, state,
+// and cancellation gates each stop it early with classified errors.
+type primeTeacher struct{}
+
+func (primeTeacher) Alphabet() []string { return []string{"a"} }
+
+func (primeTeacher) Member(trace []string) bool { return isPrime(len(trace)) }
+
+func (p primeTeacher) Equivalent(hyp *automata.DFA) ([]string, bool) {
+	// Brute-force a shortest disagreement; one always exists because the
+	// target language is not regular. The bound keeps equivalence cheap;
+	// a hypothesis matching primes through 512 needs far more distinct
+	// observation-table rows than the query budgets below allow, so the
+	// gates always trip before a spurious "equivalent".
+	for n := 0; n <= 512; n++ {
+		t := make([]string, n)
+		for i := range t {
+			t[i] = "a"
+		}
+		if hyp.Accepts(t) != p.Member(t) {
+			return t, false
+		}
+	}
+	return nil, true
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLStarCtxQueryBudgetStopsPathologicalTeacher(t *testing.T) {
+	// Over the unary alphabet, distinct queries are distinct lengths, so
+	// a small cap trips quickly while the table is still tiny.
+	res, err := LStarCtx(context.Background(), primeTeacher{}, Config{MaxQueries: 60})
+	if err == nil {
+		t.Fatalf("expected budget error, got result %+v", res)
+	}
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("error does not match budget.ErrExceeded: %v", err)
+	}
+	var berr *budget.Err
+	if !errors.As(err, &berr) || berr.Resource != "membership-queries" {
+		t.Fatalf("want structured membership-queries error, got %v", err)
+	}
+}
+
+func TestLStarCtxStateBudgetStopsPathologicalTeacher(t *testing.T) {
+	res, err := LStarCtx(context.Background(), primeTeacher{}, Config{MaxStates: 8})
+	if err == nil {
+		t.Fatalf("expected budget error, got result %+v", res)
+	}
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("error does not match budget.ErrExceeded: %v", err)
+	}
+	var berr *budget.Err
+	if !errors.As(err, &berr) || berr.Resource != "dfa-states" {
+		t.Fatalf("want structured dfa-states error, got %v", err)
+	}
+}
+
+func TestLStarCtxInheritsContextDFALimit(t *testing.T) {
+	ctx := budget.With(context.Background(), budget.Limits{MaxDFAStates: 8})
+	_, err := LStarCtx(ctx, primeTeacher{}, Config{})
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("context MaxDFAStates did not trip: %v", err)
+	}
+}
+
+func TestLStarCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := LStarCtx(ctx, primeTeacher{}, Config{})
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("want budget.ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation cause not preserved: %v", err)
+	}
+}
+
+func TestLStarCtxBudgetedRunMatchesUnbudgeted(t *testing.T) {
+	// A regular target well inside the limits must learn the same DFA
+	// with or without gates: (ab)* over {a, b}.
+	spec := automata.NewDFA([]string{"a", "b"})
+	mid := spec.AddState(false)
+	spec.SetAccepting(spec.Start(), true)
+	if err := spec.AddTransition(spec.Start(), "a", mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddTransition(mid, "b", spec.Start()); err != nil {
+		t.Fatal(err)
+	}
+	teacher := NewDFATeacher(spec)
+
+	plain, err := LStar(teacher, Config{})
+	if err != nil {
+		t.Fatalf("unbudgeted: %v", err)
+	}
+	budgeted, err := LStarCtx(budget.With(context.Background(), budget.Default()), teacher,
+		Config{MaxQueries: 10_000, MaxStates: 64})
+	if err != nil {
+		t.Fatalf("budgeted: %v", err)
+	}
+	if cex, same := automata.Distinguish(plain.DFA, budgeted.DFA); !same {
+		t.Fatalf("budgeted and unbudgeted runs disagree on %v", cex)
+	}
+}
+
+func TestWMethodSuiteCtxBudget(t *testing.T) {
+	spec := automata.NewDFA([]string{"a", "b"})
+	s1 := spec.AddState(true)
+	s2 := spec.AddState(false)
+	for _, tr := range []struct {
+		from int
+		sym  string
+		to   int
+	}{{0, "a", s1}, {s1, "b", s2}, {s2, "a", s1}} {
+		if err := spec.AddTransition(tr.from, tr.sym, tr.to); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Unlimited context: identical to the unbudgeted entry point.
+	got, err := WMethodSuiteCtx(context.Background(), spec, 1)
+	if err != nil {
+		t.Fatalf("unlimited suite: %v", err)
+	}
+	want := WMethodSuite(spec, 1)
+	if len(got) != len(want) {
+		t.Fatalf("suite size %d != %d", len(got), len(want))
+	}
+
+	// A starvation budget trips with the classified sentinel.
+	tight := budget.With(context.Background(), budget.Limits{MaxSearchNodes: 3})
+	if _, err := WMethodSuiteCtx(tight, spec, 2); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("want budget.ErrExceeded, got %v", err)
+	}
+}

@@ -1,9 +1,12 @@
 package learn
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
 )
 
 // WMethodSuite generates the Chow/Vasilevski W-method conformance test
@@ -18,7 +21,23 @@ import (
 // non-conformance. The suite is P · Σ^{≤extraStates} · W, where P is a
 // transition cover and W a characterization set; everything is built
 // with alphabet-ordered BFS, so suites are deterministic.
+//
+// WMethodSuite runs unbudgeted; suite size is exponential in
+// extraStates, so anything that derives extraStates from untrusted
+// input should call WMethodSuiteCtx instead.
 func WMethodSuite(spec *automata.DFA, extraStates int) [][]string {
+	suite, _ := WMethodSuiteCtx(context.Background(), spec, extraStates)
+	return suite
+}
+
+// WMethodSuiteCtx is WMethodSuite under a context: suite candidates and
+// state-pair BFS nodes tick a search gate against the context's
+// budget.Limits.MaxSearchNodes, and cancellation is polled along the
+// way. Errors match errors.Is against budget.ErrExceeded /
+// budget.ErrCanceled. Under a background context with no limits it
+// never fails.
+func WMethodSuiteCtx(ctx context.Context, spec *automata.DFA, extraStates int) ([][]string, error) {
+	gate := budget.SearchGate(ctx, "wmethod-suite")
 	total := spec.Complete()
 	alphabet := total.Alphabet()
 
@@ -35,7 +54,10 @@ func WMethodSuite(spec *automata.DFA, extraStates int) [][]string {
 	}
 
 	// Characterization set: suffixes distinguishing every state pair.
-	w := characterizationSet(total)
+	w, err := characterizationSet(total, gate)
+	if err != nil {
+		return nil, err
+	}
 
 	// Middle parts: Σ^0 ... Σ^extraStates.
 	middles := [][]string{{}}
@@ -44,6 +66,9 @@ func WMethodSuite(spec *automata.DFA, extraStates int) [][]string {
 		var next [][]string
 		for _, m := range frontier {
 			for _, a := range alphabet {
+				if err := gate.Tick(); err != nil {
+					return nil, fmt.Errorf("learn: %w", err)
+				}
 				next = append(next, concat(m, []string{a}))
 			}
 		}
@@ -65,12 +90,15 @@ func WMethodSuite(spec *automata.DFA, extraStates int) [][]string {
 	for _, p := range cover {
 		for _, m := range middles {
 			for _, suffix := range w {
+				if err := gate.Tick(); err != nil {
+					return nil, fmt.Errorf("learn: %w", err)
+				}
 				add(concat(concat(p, m), suffix))
 			}
 		}
 	}
 	sort.Slice(suite, func(i, j int) bool { return lessTrace(suite[i], suite[j]) })
-	return suite
+	return suite, nil
 }
 
 // Conformance reports whether the implementation (a membership oracle)
@@ -121,10 +149,10 @@ func stateCover(d *automata.DFA) [][]string {
 // characterizationSet returns suffixes that pairwise distinguish every
 // pair of distinct-behavior states, found by BFS over state pairs. The
 // empty suffix is included when some pair differs in acceptance.
-func characterizationSet(d *automata.DFA) [][]string {
+func characterizationSet(d *automata.DFA, gate *budget.Gate) ([][]string, error) {
 	n := d.NumStates()
 	if n <= 1 {
-		return [][]string{{}}
+		return [][]string{{}}, nil
 	}
 	seen := make(map[string]struct{})
 	var w [][]string
@@ -138,7 +166,11 @@ func characterizationSet(d *automata.DFA) [][]string {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if suffix, ok := distinguishingSuffix(d, i, j); ok {
+			suffix, ok, err := distinguishingSuffix(d, i, j, gate)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				add(suffix)
 			}
 		}
@@ -146,12 +178,13 @@ func characterizationSet(d *automata.DFA) [][]string {
 	if len(w) == 0 {
 		w = [][]string{{}}
 	}
-	return w
+	return w, nil
 }
 
 // distinguishingSuffix finds a shortest suffix on which states i and j
-// disagree, or false when they are equivalent.
-func distinguishingSuffix(d *automata.DFA, i, j int) ([]string, bool) {
+// disagree, or false when they are equivalent. Every visited state pair
+// ticks the gate.
+func distinguishingSuffix(d *automata.DFA, i, j int, gate *budget.Gate) ([]string, bool, error) {
 	type pair struct{ a, b int }
 	type node struct {
 		at     pair
@@ -163,8 +196,11 @@ func distinguishingSuffix(d *automata.DFA, i, j int) ([]string, bool) {
 	for len(frontier) > 0 {
 		var next []node
 		for _, n := range frontier {
+			if err := gate.Tick(); err != nil {
+				return nil, false, fmt.Errorf("learn: %w", err)
+			}
 			if d.Accepting(n.at.a) != d.Accepting(n.at.b) {
-				return n.suffix, true
+				return n.suffix, true, nil
 			}
 			for _, sym := range d.Alphabet() {
 				np := pair{a: d.Target(n.at.a, sym), b: d.Target(n.at.b, sym)}
@@ -182,7 +218,7 @@ func distinguishingSuffix(d *automata.DFA, i, j int) ([]string, bool) {
 		}
 		frontier = next
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 func lessTrace(a, b []string) bool {

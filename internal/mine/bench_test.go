@@ -1,0 +1,76 @@
+package mine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+)
+
+// BenchmarkIngestAppend pins the allocation profile of the hot ingest
+// path: appending an already-observed trace to a warm corpus. With
+// interned symbols and the trie walk allocation-free, a duplicate
+// append must not allocate at all — a regression here multiplies by
+// every event a fleet sends.
+func BenchmarkIngestAppend(b *testing.B) {
+	traces := make([][]string, 64)
+	for i := range traces {
+		tr := []string{"open"}
+		for j := 0; j < i%8; j++ {
+			tr = append(tr, "read")
+		}
+		traces[i] = append(tr, "close")
+	}
+	c := NewCorpus(CorpusConfig{})
+	for _, tr := range traces {
+		c.Add("warm", tr, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add("warm", traces[i%len(traces)], true)
+	}
+}
+
+// BenchmarkIngestAppendLong pins long-trace appends (the
+// trace.Enumerate-churn regression case): one trace of 256 events.
+func BenchmarkIngestAppendLong(b *testing.B) {
+	long := make([]string, 256)
+	for i := range long {
+		long[i] = fmt.Sprintf("op%d", i%16)
+	}
+	c := NewCorpus(CorpusConfig{})
+	c.Add("warm", long, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add("warm", long, true)
+	}
+}
+
+// BenchmarkMineRound measures one mining round end to end (snapshot,
+// L*, drift product) over a mid-size corpus, the number EXPERIMENTS.md
+// P6 reports as mining-round latency.
+func BenchmarkMineRound(b *testing.B) {
+	m := NewMiner(Config{})
+	for i := 0; i < 128; i++ {
+		tr := []string{"open"}
+		for j := 0; j < i%16; j++ {
+			tr = append(tr, "read")
+		}
+		m.Ingest(Event{ClassFP: "fp/Valve", Device: "d", Events: append(tr, "close")})
+	}
+	static := staticValve(b)
+	resolve := func(string) (*automata.DFA, bool) { return static, true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Force a re-mine each iteration by growing the accepted language
+		// one conforming trace at a time.
+		tr := []string{"open"}
+		for j := 0; j <= i%200; j++ {
+			tr = append(tr, "read")
+		}
+		m.Ingest(Event{ClassFP: "fp/Valve", Device: "d", Events: append(tr, "close")})
+		m.MineRound(mineCtx(), resolve)
+	}
+}

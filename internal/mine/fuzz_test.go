@@ -1,0 +1,58 @@
+package mine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzIngestFrame drives the NDJSON ingest decoder (and the corpus
+// appends behind it) with hostile frames: malformed JSON, oversize
+// lines and events, blank/partial lines, duplicated fingerprints. The
+// decoder must never panic, never emit an invalid event, and its
+// counters must add up; the miner must absorb whatever is emitted
+// within its bounds.
+func FuzzIngestFrame(f *testing.F) {
+	f.Add([]byte(`{"class_fp":"fp/Valve","device":"d0","events":["open","close"],"status":"ok"}` + "\n"))
+	f.Add([]byte(`{"class_fp":"fp/Valve","events":["open"],"status":"partial"}` + "\n" +
+		`{"class_fp":"fp/Valve","events":["open"],"status":"partial"}` + "\n"))
+	f.Add([]byte("not json\n\n{\"class_fp\":\"\"}\n"))
+	f.Add([]byte(`{"class_fp":"a/b","events":[` + strings.Repeat(`"x",`, 64) + `"x"]}`))
+	f.Add([]byte("{\"class_fp\":\"fp/V\",\"events\":[\"" + strings.Repeat("y", 2048) + "\"]}\n"))
+	f.Add(bytes.Repeat([]byte("z"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lim := DecodeLimits{MaxLineBytes: 1024, MaxTraceEvents: 16}
+		m := NewMiner(Config{
+			MaxClasses: 4,
+			Corpus:     CorpusConfig{MaxTraces: 8, MaxTraceEvents: 16, MaxNodes: 64, MaxSymbols: 8},
+		})
+		emitted := 0
+		st, err := DecodeFrame(bytes.NewReader(data), lim, func(ev Event) {
+			emitted++
+			if ev.ClassFP == "" {
+				t.Fatal("decoder emitted event without class_fp")
+			}
+			if _, ok := ev.Accepted(); !ok {
+				t.Fatalf("decoder emitted invalid status %q", ev.Status)
+			}
+			if len(ev.Events) > lim.MaxTraceEvents {
+				t.Fatalf("decoder emitted %d events over the %d cap", len(ev.Events), lim.MaxTraceEvents)
+			}
+			m.Ingest(ev)
+		})
+		if err != nil {
+			t.Fatalf("in-memory reader returned transport error: %v", err)
+		}
+		if st.Malformed+st.Oversize > st.Lines {
+			t.Fatalf("stats don't add up: %+v", st)
+		}
+		if emitted != st.Lines-st.Malformed-st.Oversize {
+			t.Fatalf("emitted %d events for stats %+v", emitted, st)
+		}
+		c := m.Counters()
+		if c.IngestedTraces+c.ShedTraces != uint64(emitted) {
+			t.Fatalf("miner counters %+v for %d emitted", c, emitted)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package mine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// Event is one NDJSON line of a POST /v1/ingest frame: one observed
+// usage (or usage prefix) of one class on one device. This is the wire
+// type; client.IngestEvent aliases it so daemon and client can never
+// drift.
+type Event struct {
+	// ClassFP names the class the trace exercises:
+	// "<module-fingerprint>/<ClassName>", e.g. "sha256:ab…12/Valve".
+	ClassFP string `json:"class_fp"`
+
+	// Device identifies the reporting device; used only for fleet
+	// statistics.
+	Device string `json:"device,omitempty"`
+
+	// Events is the operation-name sequence the device executed.
+	Events []string `json:"events"`
+
+	// Status classifies the observation: "ok" (or empty) marks a
+	// complete usage that enters the mined language; "partial" and
+	// "error" contribute prefix statistics only.
+	Status string `json:"status,omitempty"`
+}
+
+// Accepted maps Status onto the two observation kinds; ok=false means
+// the status token itself is malformed.
+func (e *Event) Accepted() (accepted, ok bool) {
+	switch e.Status {
+	case "", "ok":
+		return true, true
+	case "partial", "error":
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// DecodeLimits bounds one frame decode. Zero values take defaults.
+type DecodeLimits struct {
+	// MaxLineBytes caps one NDJSON line; longer lines are counted
+	// oversize and skipped without aborting the frame.
+	MaxLineBytes int
+
+	// MaxTraceEvents caps Events per line; longer ones are malformed.
+	MaxTraceEvents int
+}
+
+func (l DecodeLimits) withDefaults() DecodeLimits {
+	if l.MaxLineBytes == 0 {
+		l.MaxLineBytes = 64 << 10
+	}
+	if l.MaxTraceEvents == 0 {
+		l.MaxTraceEvents = 4096
+	}
+	return l
+}
+
+// FrameStats counts a frame decode. Lines is every non-blank line seen;
+// Malformed and Oversize count the subset dropped, so
+// Lines-Malformed-Oversize events were emitted.
+type FrameStats struct {
+	Lines     int `json:"lines"`
+	Malformed int `json:"malformed"`
+	Oversize  int `json:"oversize"`
+}
+
+// DecodeFrame parses one NDJSON ingest frame, calling emit once per
+// well-formed event. Malformed and oversize lines are counted and
+// skipped — a fleet with one buggy reporter keeps the rest of the frame
+// flowing — and only transport-level read errors fail the decode.
+// Callers bound total frame size (http.MaxBytesReader); DecodeFrame
+// bounds per-line memory at MaxLineBytes regardless of input shape.
+func DecodeFrame(r io.Reader, lim DecodeLimits, emit func(Event)) (FrameStats, error) {
+	lim = lim.withDefaults()
+	br := bufio.NewReaderSize(r, 32<<10)
+	var st FrameStats
+	buf := make([]byte, 0, 4096)
+	oversize := false
+
+	flush := func() {
+		defer func() { buf = buf[:0]; oversize = false }()
+		line := bytes.TrimSpace(buf)
+		if len(line) == 0 && !oversize {
+			return
+		}
+		st.Lines++
+		if oversize {
+			st.Oversize++
+			return
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			st.Malformed++
+			return
+		}
+		if _, ok := ev.Accepted(); !ok || ev.ClassFP == "" || len(ev.Events) > lim.MaxTraceEvents {
+			st.Malformed++
+			return
+		}
+		emit(ev)
+	}
+
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !oversize {
+			if len(buf)+len(chunk) > lim.MaxLineBytes {
+				oversize = true
+				buf = buf[:0]
+			} else {
+				buf = append(buf, chunk...)
+			}
+		}
+		switch err {
+		case nil:
+			flush()
+		case bufio.ErrBufferFull:
+			// Mid-line; keep accumulating (or skipping) until '\n'.
+		case io.EOF:
+			flush()
+			return st, nil
+		default:
+			return st, err
+		}
+	}
+}

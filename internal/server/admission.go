@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 )
 
 // admission is the per-client fairness gate in front of the batch
@@ -33,16 +34,22 @@ type admission struct {
 	maxTotal  int
 
 	rnd *rand.Rand
-	met *metrics
+
+	// rejected and inflightGauge are the instance's metric hooks —
+	// injected rather than hardwired so the batch and ingest admission
+	// instances report into distinct metric families.
+	rejected      *atomic.Uint64
+	inflightGauge *atomic.Int64
 }
 
-func newAdmission(maxClient, maxTotal int, met *metrics) *admission {
+func newAdmission(maxClient, maxTotal int, rejected *atomic.Uint64, inflightGauge *atomic.Int64) *admission {
 	return &admission{
-		inflight:  make(map[string]int),
-		maxClient: maxClient,
-		maxTotal:  maxTotal,
-		rnd:       rand.New(rand.NewSource(rand.Int63())),
-		met:       met,
+		inflight:      make(map[string]int),
+		maxClient:     maxClient,
+		maxTotal:      maxTotal,
+		rnd:           rand.New(rand.NewSource(rand.Int63())),
+		rejected:      rejected,
+		inflightGauge: inflightGauge,
 	}
 }
 
@@ -54,16 +61,16 @@ func (a *admission) admit(key string, n int) (release func(), status, retryAfter
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.total+n > a.maxTotal {
-		a.met.batchRejected.Add(1)
+		a.rejected.Add(1)
 		return nil, http.StatusServiceUnavailable, a.backoffLocked(2)
 	}
 	if a.inflight[key]+n > a.maxClient {
-		a.met.batchRejected.Add(1)
+		a.rejected.Add(1)
 		return nil, http.StatusTooManyRequests, a.backoffLocked(1)
 	}
 	a.inflight[key] += n
 	a.total += n
-	a.met.batchInflightItems.Add(int64(n))
+	a.inflightGauge.Add(int64(n))
 	var once sync.Once
 	return func() {
 		once.Do(func() {
@@ -74,7 +81,7 @@ func (a *admission) admit(key string, n int) (release func(), status, retryAfter
 			}
 			a.total -= n
 			a.mu.Unlock()
-			a.met.batchInflightItems.Add(-int64(n))
+			a.inflightGauge.Add(-int64(n))
 		})
 	}, 0, 0
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/shelley-go/shelley/internal/mine"
 	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/store"
 )
@@ -110,6 +111,13 @@ type metrics struct {
 	// client disconnect can leave, since a flushed response's status
 	// code is immutable.
 	writeErrors atomic.Uint64
+
+	// ingestRejected counts whole /v1/ingest frames refused by ingest
+	// admission control (429/503 with Retry-After) — the shed-never-block
+	// contract's HTTP face; ingestInflightEvents is the live gauge of
+	// admitted ingest charge (events being appended right now).
+	ingestRejected       atomic.Uint64
+	ingestInflightEvents atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -182,12 +190,8 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *s
 	}
 	m.mu.Unlock()
 
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
+	counter := func(name, help string, v uint64) { writeCounter(b, name, help, v) }
+	gauge := func(name, help string, v int64) { writeGauge(b, name, help, v) }
 	counter("shelleyd_coalesced_total", "Requests served by piggybacking on an identical in-flight request.", m.coalesced.Load())
 	counter("shelleyd_module_cache_hits_total", "Requests served by an already-resident module.", m.moduleHits.Load())
 	counter("shelleyd_check_body_cache_hits_total", "Check requests answered from a resident module's memoized response body.", m.bodyCacheHits.Load())
@@ -240,5 +244,45 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *s
 		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"hits\"} %d\n", st.Stage, st.Hits)
 		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"misses\"} %d\n", st.Stage, st.Misses)
 		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"persist_hits\"} %d\n", st.Stage, st.PersistHits)
+	}
+}
+
+func writeCounter(b *strings.Builder, name, help string, v uint64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGauge(b *strings.Builder, name, help string, v int64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// driftVerdicts is the fixed label order of the shelleyd_drift_classes
+// gauge, so scrapes stay byte-stable round to round.
+var driftVerdicts = []string{
+	mine.VerdictPending, mine.VerdictConformant, mine.VerdictUnder,
+	mine.VerdictDrift, mine.VerdictNoStatic, mine.VerdictError,
+}
+
+// renderMine appends the shelleyd_mine_* / shelleyd_drift_* families —
+// the mining subsystem's scrape surface, rendered only on daemons
+// started with mining enabled.
+func (m *metrics) renderMine(b *strings.Builder, c mine.Counters, reports []mine.Report) {
+	writeCounter(b, "shelleyd_mine_ingested_traces_total", "Trace observations accepted into per-class corpora.", c.IngestedTraces)
+	writeCounter(b, "shelleyd_mine_ingested_events_total", "Individual events accepted into per-class corpora.", c.IngestedEvents)
+	writeCounter(b, "shelleyd_mine_shed_traces_total", "Trace observations dropped by a corpus or class bound (counted, never blocked).", c.ShedTraces)
+	writeCounter(b, "shelleyd_mine_rounds_total", "Completed per-class mining rounds (L* plus drift diff).", c.Rounds)
+	writeCounter(b, "shelleyd_mine_budget_tripped_total", "Mining rounds stopped by a resource budget or deadline.", c.BudgetTripped)
+	writeCounter(b, "shelleyd_drift_flips_total", "Verdict transitions into DRIFT (one page per flip, not per scrape).", c.DriftFlips)
+	writeCounter(b, "shelleyd_ingest_rejected_total", "Whole ingest frames refused by admission control (429/503 with Retry-After).", m.ingestRejected.Load())
+	writeGauge(b, "shelleyd_ingest_inflight_events", "Admitted ingest charge currently being appended.", m.ingestInflightEvents.Load())
+	writeGauge(b, "shelleyd_mine_classes", "Classes with a tracked corpus or restored mined model.", int64(len(reports)))
+
+	byVerdict := make(map[string]int, len(driftVerdicts))
+	for _, r := range reports {
+		byVerdict[r.Verdict]++
+	}
+	fmt.Fprintf(b, "# HELP shelleyd_drift_classes Tracked classes by current drift verdict.\n")
+	fmt.Fprintf(b, "# TYPE shelleyd_drift_classes gauge\n")
+	for _, v := range driftVerdicts {
+		fmt.Fprintf(b, "shelleyd_drift_classes{verdict=%q} %d\n", v, byVerdict[v])
 	}
 }

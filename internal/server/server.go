@@ -40,6 +40,7 @@ import (
 	"github.com/shelley-go/shelley/client"
 	"github.com/shelley-go/shelley/internal/budget"
 	"github.com/shelley-go/shelley/internal/check"
+	"github.com/shelley-go/shelley/internal/mine"
 	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/store"
 )
@@ -147,6 +148,39 @@ type Config struct {
 	// instead.
 	Limits budget.Limits
 
+	// Mine enables the trace-ingestion and model-mining subsystem:
+	// POST /v1/ingest accepts fleet trace observations, a background
+	// loop mines per-class automata from them and diffs the result
+	// against the statically inferred models, and GET /v1/drift serves
+	// the verdicts. Off by default — the endpoints answer 404.
+	Mine bool
+
+	// MineInterval is the background mining-loop period. Ingest is
+	// decoupled from learning: observations buffer in bounded corpora
+	// and each tick re-mines only classes whose observed language grew.
+	// 0 means 5s.
+	MineInterval time.Duration
+
+	// MineConfig tunes the miner (corpus bounds, class cap, learning
+	// budget). Its Store field is overridden with Config.Store so mined
+	// models and drift verdicts share the daemon's artifact store.
+	MineConfig mine.Config
+
+	// MaxIngestBytes bounds one /v1/ingest NDJSON frame. 0 means 8 MiB.
+	MaxIngestBytes int64
+
+	// MaxClientEvents bounds one client's in-flight ingested events
+	// (each observation charges at least 1); beyond it the whole frame
+	// is refused with 429 and a jittered Retry-After. Ingest therefore
+	// sheds under overload — admission refusal at the HTTP layer, corpus
+	// bounds underneath — and never blocks a reporting device. 0 means
+	// 65536.
+	MaxClientEvents int
+
+	// MaxIngestInflight bounds in-flight ingested events across every
+	// client (503 beyond). 0 means 4×MaxClientEvents.
+	MaxIngestInflight int
+
 	// jobHook, when set, runs at the start of every pooled job — a
 	// test-only seam that lets the suite hold workers at a barrier and
 	// observe saturation, coalescing, and drain deterministically.
@@ -204,6 +238,18 @@ func (c Config) withDefaults() Config {
 	if c.Limits.Unlimited() {
 		c.Limits = budget.Default()
 	}
+	if c.MineInterval <= 0 {
+		c.MineInterval = 5 * time.Second
+	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = 8 << 20
+	}
+	if c.MaxClientEvents <= 0 {
+		c.MaxClientEvents = 65536
+	}
+	if c.MaxIngestInflight <= 0 {
+		c.MaxIngestInflight = 4 * c.MaxClientEvents
+	}
 	return c
 }
 
@@ -236,6 +282,17 @@ type Server struct {
 	drainCtx    context.Context
 	drainCancel context.CancelCauseFunc
 
+	// miner and ingestAdm are non-nil iff Config.Mine. The mining loop
+	// runs from New until Shutdown; mineCtx cancels it (and any round in
+	// progress), mineDone confirms it exited, mineStopOnce makes the
+	// stop idempotent.
+	miner        *mine.Miner
+	ingestAdm    *admission
+	mineCtx      context.Context
+	mineCancel   context.CancelFunc
+	mineDone     chan struct{}
+	mineStopOnce sync.Once
+
 	// tracer and ring are non-nil iff Config.Tracing; logger is
 	// Config.Logger verbatim (nil = quiet).
 	tracer *obs.Tracer
@@ -262,7 +319,7 @@ func New(cfg Config) *Server {
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, met, cfg.jobHook),
 		met:        met,
 		mux:        http.NewServeMux(),
-		adm:        newAdmission(cfg.MaxClientItems, cfg.MaxBatchInflight, met),
+		adm:        newAdmission(cfg.MaxClientItems, cfg.MaxBatchInflight, &met.batchRejected, &met.batchInflightItems),
 		jobs:       newJobStore(cfg.MaxJobs),
 		store:      cfg.Store,
 		poolClosed: make(chan struct{}),
@@ -285,9 +342,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job-get", s.handleJobGet))
 	s.mux.HandleFunc("GET /v1/snapshot", s.instrument("snapshot-get", s.handleSnapshotGet))
 	s.mux.HandleFunc("PUT /v1/snapshot", s.instrument("snapshot-put", s.handleSnapshotPut))
+	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("GET /v1/drift", s.instrument("drift", s.handleDrift))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/trace-export", s.handleTraceExport)
+	if cfg.Mine {
+		mc := cfg.MineConfig
+		mc.Store = cfg.Store
+		s.miner = mine.NewMiner(mc)
+		s.ingestAdm = newAdmission(cfg.MaxClientEvents, cfg.MaxIngestInflight, &met.ingestRejected, &met.ingestInflightEvents)
+		s.mineCtx, s.mineCancel = context.WithCancel(context.Background())
+		s.mineDone = make(chan struct{})
+		go s.mineLoop()
+	}
 	return s
 }
 
@@ -344,6 +412,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.submitMu.Lock()
 	s.draining.Store(true)
 	s.submitMu.Unlock()
+	// The mining loop stops first: canceling mineCtx aborts any round in
+	// progress, so its final store Puts are enqueued before the flush at
+	// the end of the drain — a clean shutdown loses no mined verdict.
+	s.stopMiner()
 	s.pool.drain()
 	var err error
 	if s.httpSrv != nil {
@@ -911,6 +983,9 @@ func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	s.met.render(&b, s.modules.stats(), s.store)
+	if s.miner != nil {
+		s.met.renderMine(&b, s.miner.Counters(), s.miner.Reports())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
 }

@@ -16,6 +16,7 @@ package trace
 
 import (
 	"sort"
+	"strings"
 
 	"github.com/shelley-go/shelley/internal/ir"
 )
@@ -265,11 +266,20 @@ func (s *traceSet) addAll(other *traceSet) {
 func (s *traceSet) slice() [][]string { return s.traces }
 
 func traceKey(t []string) string {
-	k := ""
+	// A single pre-sized Builder keeps the key one allocation; the naive
+	// k += f + "\x00" loop is O(n²) bytes copied on long traces and
+	// dominated Enumerate/addBounded profiles.
+	n := len(t)
 	for _, f := range t {
-		k += f + "\x00"
+		n += len(f)
 	}
-	return k
+	var b strings.Builder
+	b.Grow(n)
+	for _, f := range t {
+		b.WriteString(f)
+		b.WriteByte(0)
+	}
+	return b.String()
 }
 
 func concatTrace(a, b []string) []string {

@@ -1,0 +1,104 @@
+package shelley
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/shelley-go/shelley/internal/automata"
+	"github.com/shelley-go/shelley/internal/budget"
+	"github.com/shelley-go/shelley/internal/mine"
+)
+
+// Property tests of the trace-mining subsystem against the static
+// pipeline, over randomly generated classes: a corpus sampled from the
+// statically inferred DFA must never produce a DRIFT verdict (mining
+// infers at most the observed sub-language of the spec), and one
+// injected off-model trace must flip the verdict with a counterexample
+// the static model rejects. Runs under -race in CI.
+func TestMiningSampledCorpusNeverDrifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	ctx := budget.With(context.Background(), budget.Default())
+
+	for i := 0; i < 20; i++ {
+		src := randBaseClass(rng, "Dev", 2+rng.Intn(3))
+		m, err := LoadSource(src)
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, src)
+		}
+		dev, _ := m.Class("Dev")
+		spec, err := dev.SpecDFA("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolve := func(string) (*automata.DFA, bool) { return spec, true }
+
+		miner := mine.NewMiner(mine.Config{})
+		classFP := fmt.Sprintf("case%d/Dev", i)
+		sampled := 0
+		for k := 0; k < 48; k++ {
+			tr, ok := spec.RandomAccepted(rng, 10)
+			if !ok {
+				break
+			}
+			out := miner.Ingest(mine.Event{
+				ClassFP: classFP,
+				Device:  fmt.Sprintf("dev-%d", k%8),
+				Events:  tr,
+				Status:  "ok",
+			})
+			if out.Accepted {
+				sampled++
+			}
+		}
+		if sampled == 0 {
+			continue // spec accepts nothing within the length bound
+		}
+		st := miner.MineRound(ctx, resolve)
+		if st.Errors != 0 || st.Mined != 1 {
+			t.Fatalf("case %d: round stats %+v\n%s", i, st, src)
+		}
+		r := miner.Reports()[0]
+		if r.Verdict == mine.VerdictDrift {
+			t.Fatalf("case %d: conforming corpus drifted, counterexample %v\n%s", i, r.Counterexample, src)
+		}
+		if r.Verdict != mine.VerdictConformant && r.Verdict != mine.VerdictUnder {
+			t.Fatalf("case %d: unexpected verdict %q (%+v)\n%s", i, r.Verdict, r, src)
+		}
+
+		// Inject a single off-model trace: the shortest non-empty trace
+		// the spec rejects (over the spec's own alphabet).
+		var drifting []string
+		for _, cand := range spec.Complement().EnumerateAccepted(4) {
+			if len(cand) > 0 {
+				drifting = append([]string(nil), cand...)
+				break
+			}
+		}
+		if drifting == nil {
+			continue // spec accepts every short trace; nothing to inject
+		}
+		out := miner.Ingest(mine.Event{ClassFP: classFP, Device: "rogue", Events: drifting, Status: "ok"})
+		if !out.Accepted {
+			t.Fatalf("case %d: drifting trace shed: %+v", i, out)
+		}
+		if st := miner.MineRound(ctx, resolve); st.Errors != 0 {
+			t.Fatalf("case %d: drift round stats %+v", i, st)
+		}
+		r = miner.Reports()[0]
+		if r.Verdict != mine.VerdictDrift {
+			t.Fatalf("case %d: injected off-model trace %v did not flip verdict (got %q)\n%s",
+				i, drifting, r.Verdict, src)
+		}
+		if len(r.Counterexample) == 0 {
+			t.Fatalf("case %d: DRIFT without counterexample", i)
+		}
+		if spec.Accepts(r.Counterexample) {
+			t.Fatalf("case %d: counterexample %v conforms to the spec", i, r.Counterexample)
+		}
+		if len(r.Counterexample) > len(drifting) {
+			t.Fatalf("case %d: counterexample %v not minimal (injected %v)", i, r.Counterexample, drifting)
+		}
+	}
+}
