@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// StatusResponse is the GET /v1/status body: the daemon's live
+// operational picture — gauges, rolling per-endpoint rates and
+// percentiles, SLO budgets, firing alerts, and recent exemplar traces.
+// Duration-typed fields marshal as integer nanoseconds (Go's
+// time.Duration JSON encoding); field names carry the _ns suffix as a
+// reminder.
+type StatusResponse struct {
+	Now       time.Time     `json:"now"`
+	Start     time.Time     `json:"start"`
+	UptimeSec float64       `json:"uptime_sec"`
+	Interval  time.Duration `json:"interval_ns"`
+	Draining  bool          `json:"draining"`
+
+	// Gauges are the latest instantaneous values, keyed by metric name
+	// (label block included for labeled families).
+	Gauges map[string]float64 `json:"gauges"`
+
+	Endpoints []EndpointStatus `json:"endpoints"`
+	SLOs      []SLOStatus      `json:"slos,omitempty"`
+	Alerts    []AlertStatus    `json:"alerts"`
+	Exemplars []ExemplarStatus `json:"exemplars"`
+}
+
+// EndpointStatus is one endpoint's rolling view.
+type EndpointStatus struct {
+	Endpoint string `json:"endpoint"`
+
+	// Codes are since-boot request counts by status code.
+	Codes map[string]uint64 `json:"codes"`
+
+	// Windows maps a window label ("10s", "1m", "5m", "1h") to the
+	// statistics over that window.
+	Windows map[string]WindowStats `json:"windows"`
+}
+
+// WindowStats are rolling statistics over one window.
+type WindowStats struct {
+	// Window is the effective span the statistics cover — the
+	// requested window clamped to retained history.
+	Window time.Duration `json:"window_ns"`
+
+	Total     uint64  `json:"total"`
+	Errors    uint64  `json:"errors"`
+	Rate      float64 `json:"rate"`
+	ErrorRate float64 `json:"error_rate"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// SLOStatus is one objective's current evaluation.
+type SLOStatus struct {
+	Name     string        `json:"name"`
+	Endpoint string        `json:"endpoint"`
+	Target   float64       `json:"target"`
+	Latency  time.Duration `json:"latency_ns,omitempty"`
+
+	BadFrac float64       `json:"bad_frac"`
+	Window  time.Duration `json:"window_ns"`
+
+	// BurnFast/BurnSlow are error-budget burn rates over the page
+	// rule's 5m/1h windows; 1.0 spends exactly the budget.
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+
+	BudgetRemaining float64 `json:"budget_remaining"`
+
+	// Firing is "", "warn", or "page".
+	Firing string `json:"firing,omitempty"`
+}
+
+// AlertStatus is one firing alert — an SLO burn or a drift flip (whose
+// Counterexample carries the offending trace).
+type AlertStatus struct {
+	Key            string    `json:"key"`
+	Severity       string    `json:"severity"`
+	Since          time.Time `json:"since"`
+	Message        string    `json:"message"`
+	Value          float64   `json:"value,omitempty"`
+	Counterexample []string  `json:"counterexample,omitempty"`
+}
+
+// ExemplarStatus is one tail-sampled request with its span tree.
+type ExemplarStatus struct {
+	TraceID  string        `json:"trace_id"`
+	Endpoint string        `json:"endpoint"`
+	Code     int           `json:"code"`
+	Reason   string        `json:"reason"`
+	Duration time.Duration `json:"duration_ns"`
+
+	// Bucket is the fine histogram bucket the request landed in;
+	// BucketLe its human-readable upper bound.
+	Bucket   int    `json:"bucket"`
+	BucketLe string `json:"bucket_le"`
+
+	At           time.Time      `json:"at"`
+	Spans        []ExemplarSpan `json:"spans,omitempty"`
+	SpansDropped int            `json:"spans_dropped,omitempty"`
+}
+
+// ExemplarSpan is one span of an exemplar's tree.
+type ExemplarSpan struct {
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Counts   map[string]uint64 `json:"counts,omitempty"`
+}
+
+// Status GETs /v1/status — the daemon's live telemetry view. Requires
+// the daemon to run with telemetry enabled (404 otherwise, surfaced as
+// an *APIError).
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	raw, err := c.get(ctx, "/v1/status")
+	if err != nil {
+		return nil, err
+	}
+	var out StatusResponse
+	if err := json.Unmarshal([]byte(raw), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,184 @@
+// Command shelleybench converts `go test -bench` text output into a
+// machine-readable BENCH_<date>.json record, so benchmark runs (CI's
+// bench-smoke, or a developer's laptop) accumulate into a comparable
+// performance trajectory instead of scrolling away in logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | shelleybench -o BENCH_$(date +%F).json
+//	shelleybench -i bench.txt
+//
+// The converter is deliberately lossless about per-benchmark metrics:
+// the standard ns/op, B/op, and allocs/op land in typed fields, and any
+// custom ReportMetric units ride along in "extra". Non-benchmark lines
+// (PASS, ok, failures) are ignored, but goos/goarch/pkg/cpu headers are
+// captured so records from different machines stay distinguishable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is the top-level JSON document.
+type Record struct {
+	Date   string `json:"date"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+
+	// Procs is the -N GOMAXPROCS suffix Go appends to the name.
+	Procs int `json:"procs,omitempty"`
+
+	Runs        int64    `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+
+	// Extra holds custom testing.B ReportMetric units, keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shelleybench:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+var benchLineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+// run is the testable body of main.
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("shelleybench", flag.ContinueOnError)
+	in := fs.String("i", "", "input file of go test -bench output (empty = stdin)")
+	out := fs.String("o", "", "output JSON file (empty = stdout)")
+	date := fs.String("date", "", "record date, YYYY-MM-DD (empty = today)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 0 {
+		return 2, fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		src = f
+	}
+	rec, err := parse(src)
+	if err != nil {
+		return 1, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return 1, fmt.Errorf("no benchmark lines in input")
+	}
+	rec.Date = *date
+	if rec.Date == "" {
+		rec.Date = time.Now().Format("2006-01-02")
+	}
+
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return 1, err
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(stdout, "shelleybench: %d benchmarks -> %s\n", len(rec.Benchmarks), *out)
+		return 0, nil
+	}
+	_, err = stdout.Write(b)
+	return 0, err
+}
+
+// parse consumes go test -bench output. Header lines (goos/goarch/
+// pkg/cpu) may repeat once per package; the pkg header applies to every
+// benchmark line that follows it.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rec.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		m := benchLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Pkg: pkg, Extra: map[string]float64{}}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		var err error
+		if b.Runs, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad runs in %q: %w", line, err)
+		}
+		// The tail is value-unit pairs: "21.82 ns/op  0 B/op  0 allocs/op".
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd metric fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				val := v
+				b.BPerOp = &val
+			case "allocs/op":
+				val := v
+				b.AllocsPerOp = &val
+			default:
+				b.Extra[unit] = v
+			}
+		}
+		if len(b.Extra) == 0 {
+			b.Extra = nil
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	return rec, sc.Err()
+}

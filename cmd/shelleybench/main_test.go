@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/shelley-go/shelley
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig2Cold-8         	     100	    110432 ns/op	    8104 B/op	      38 allocs/op
+BenchmarkFig2Cached-8       	   10000	       132.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCheckThroughput    	     500	   2104932 ns/op	        475.1 items/s
+PASS
+ok  	github.com/shelley-go/shelley	4.312s
+pkg: github.com/shelley-go/shelley/internal/server
+BenchmarkMetricsObserveParallel-8 	53447365	        21.82 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/shelley-go/shelley/internal/server	2.457s
+`
+
+func TestParseAndEmit(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	var stdout strings.Builder
+	code, err := run([]string{"-o", outFile, "-date", "2026-08-08"}, strings.NewReader(sampleOutput), &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Date != "2026-08-08" || rec.GOOS != "linux" || rec.GOARCH != "amd64" {
+		t.Errorf("header = %s/%s/%s", rec.Date, rec.GOOS, rec.GOARCH)
+	}
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
+	}
+
+	cold := rec.Benchmarks[0]
+	if cold.Name != "BenchmarkFig2Cold" || cold.Procs != 8 || cold.Runs != 100 || cold.NsPerOp != 110432 {
+		t.Errorf("cold = %+v", cold)
+	}
+	if cold.BPerOp == nil || *cold.BPerOp != 8104 || cold.AllocsPerOp == nil || *cold.AllocsPerOp != 38 {
+		t.Errorf("cold memory metrics = %+v", cold)
+	}
+	if cold.Pkg != "github.com/shelley-go/shelley" {
+		t.Errorf("cold pkg = %q", cold.Pkg)
+	}
+
+	// Fractional ns/op and custom ReportMetric units survive.
+	if rec.Benchmarks[1].NsPerOp != 132.5 {
+		t.Errorf("cached ns/op = %v", rec.Benchmarks[1].NsPerOp)
+	}
+	tp := rec.Benchmarks[2]
+	if tp.Procs != 0 || tp.Extra["items/s"] != 475.1 || tp.BPerOp != nil {
+		t.Errorf("throughput = %+v", tp)
+	}
+
+	// The second pkg header applies to the benchmarks after it.
+	par := rec.Benchmarks[3]
+	if par.Name != "BenchmarkMetricsObserveParallel" || par.Pkg != "github.com/shelley-go/shelley/internal/server" {
+		t.Errorf("parallel = %+v", par)
+	}
+}
+
+func TestStdoutAndDefaults(t *testing.T) {
+	var stdout strings.Builder
+	code, err := run(nil, strings.NewReader(sampleOutput), &stdout)
+	if err != nil || code != 0 {
+		t.Fatalf("run = (%d, %v)", code, err)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(stdout.String()), &rec); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rec.Date == "" {
+		t.Error("date not defaulted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout strings.Builder
+	if code, err := run(nil, strings.NewReader("PASS\nok x 1s\n"), &stdout); err == nil || code != 1 {
+		t.Errorf("empty input: (%d, %v), want code 1 and error", code, err)
+	}
+	if code, err := run([]string{"-badflag"}, strings.NewReader(""), &stdout); err == nil || code != 2 {
+		t.Errorf("bad flag: (%d, %v), want code 2 and error", code, err)
+	}
+	if code, err := run([]string{"-i", "/nonexistent"}, strings.NewReader(""), &stdout); err == nil || code != 2 {
+		t.Errorf("bad input file: (%d, %v), want code 2 and error", code, err)
+	}
+}

@@ -23,8 +23,11 @@
 //
 // Endpoints: POST /v1/check, /v1/check-batch, /v1/jobs, /v1/infer,
 // /v1/trace, /v1/ingest (-mine); GET /v1/jobs/{id}, /v1/drift (-mine),
-// /healthz, /metrics. See docs/TUTORIAL.md §9 and §12 for a curl
-// quickstart, §14 for model mining and drift detection.
+// /v1/status (live telemetry: rolling rates/percentiles, SLO burn
+// alerts, exemplar traces; ?format=html for a dashboard), /healthz,
+// /metrics. See docs/TUTORIAL.md §9 and §12 for a curl quickstart,
+// §14 for model mining and drift detection, §15 for operating the
+// telemetry surface and shelleytop.
 package main
 
 import (
@@ -43,6 +46,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -53,7 +57,29 @@ import (
 	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/server"
 	"github.com/shelley-go/shelley/internal/store"
+	"github.com/shelley-go/shelley/internal/telemetry"
 )
+
+// sloFlags collects repeated -slo flags, each parsed eagerly so a bad
+// spec fails at flag-parse time with the offending value named.
+type sloFlags []telemetry.SLO
+
+func (s *sloFlags) String() string {
+	parts := make([]string, len(*s))
+	for i, slo := range *s {
+		parts[i] = slo.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *sloFlags) Set(spec string) error {
+	slo, err := telemetry.ParseSLO(spec)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, slo)
+	return nil
+}
 
 func main() {
 	sig := make(chan os.Signal, 1)
@@ -93,6 +119,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "artifact store byte bound, LRU-evicted (0 = unbounded)")
 	mineOn := fs.Bool("mine", false, "enable trace ingestion (POST /v1/ingest) and background model mining with drift detection (GET /v1/drift)")
 	mineInterval := fs.Duration("mine-interval", 0, "mining-loop period (0 = 5s)")
+	telemetryInterval := fs.Duration("telemetry-interval", time.Second, "telemetry snapshot period behind GET /v1/status (0 disables telemetry)")
+	var slos sloFlags
+	fs.Var(&slos, "slo", "SLO objective endpoint:latency:target or endpoint:availability:target, e.g. check:1ms:99 (repeatable; default check:1ms:99 and check:availability:99.9)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -108,8 +137,11 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 		MaxModules:     *maxModules,
 		Tracing:        *traceFile != "" || *traceRing > 0,
 		TraceRingSize:  *traceRing,
-		Mine:           *mineOn,
-		MineInterval:   *mineInterval,
+		Mine:              *mineOn,
+		MineInterval:      *mineInterval,
+		Telemetry:         *telemetryInterval > 0,
+		TelemetryInterval: *telemetryInterval,
+		SLOs:              slos,
 	}
 	if *maxStates > 0 || *maxRegex > 0 {
 		cfg.Limits = shelley.Budget{
@@ -207,6 +239,13 @@ func runSelfcheck(out io.Writer, cfg server.Config, corpusDir string, clients, r
 	}
 	fmt.Fprintf(out, "selfcheck: %d sources, %d clients × %d requests\n", len(sources), clients, requests)
 
+	// A selfcheck run is short, so tighten the telemetry clock: the
+	// rolling windows need several snapshots inside the run to report
+	// nonzero rates before the daemon drains.
+	if cfg.Telemetry && cfg.TelemetryInterval > 100*time.Millisecond {
+		cfg.TelemetryInterval = 100 * time.Millisecond
+	}
+
 	srv := server.New(cfg)
 	bound, err := srv.Start("127.0.0.1:0")
 	if err != nil {
@@ -248,6 +287,38 @@ func runSelfcheck(out io.Writer, cfg server.Config, corpusDir string, clients, r
 	} {
 		if v, ok := client.ParseMetric(metrics, name); ok {
 			fmt.Fprintf(out, "selfcheck: %s = %.0f\n", name, v)
+		}
+	}
+
+	if cfg.Telemetry {
+		// Let the engine snapshot the tail of the load, then hold
+		// /v1/status to its contract: the load must show up as nonzero
+		// rolling rates and breaching requests in the exemplar ring.
+		time.Sleep(3 * cfg.TelemetryInterval)
+		status, err := cl.Status(ctx)
+		if err != nil {
+			return 1, fmt.Errorf("scraping /v1/status: %w", err)
+		}
+		var checkRate float64
+		for _, ep := range status.Endpoints {
+			if ep.Endpoint != "check" {
+				continue
+			}
+			if w, ok := ep.Windows["10s"]; ok {
+				checkRate = w.Rate
+				fmt.Fprintf(out, "selfcheck: status: check 10s rate=%.1f/s p50=%s p99=%s total=%d\n",
+					w.Rate, w.P50, w.P99, w.Total)
+			}
+		}
+		fmt.Fprintf(out, "selfcheck: status: %d exemplars, %d alerts, %d slos\n",
+			len(status.Exemplars), len(status.Alerts), len(status.SLOs))
+		if checkRate <= 0 {
+			failures.Add(1)
+			fmt.Fprintln(out, "selfcheck: /v1/status reports zero rolling check rate under load")
+		}
+		if len(status.Exemplars) == 0 {
+			failures.Add(1)
+			fmt.Fprintln(out, "selfcheck: /v1/status exemplar ring is empty under load")
 		}
 	}
 

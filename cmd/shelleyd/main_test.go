@@ -113,10 +113,100 @@ func TestRunSelfcheck(t *testing.T) {
 		t.Fatalf("selfcheck exit = %d\n%s", code, out.String())
 	}
 	text := out.String()
-	for _, want := range []string{"0 failures", "drained clean", "shelleyd_module_cache_hits_total"} {
+	for _, want := range []string{
+		"0 failures", "drained clean", "shelleyd_module_cache_hits_total",
+		// Telemetry is on by default: the run must scrape /v1/status and
+		// see its own load as rolling rates and exemplars.
+		"selfcheck: status: check 10s rate=", "exemplars",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("selfcheck output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestRunServeStatusAndSLOFlags boots serve mode with a custom -slo and
+// a fast telemetry clock, drives one check, and reads the objective
+// back through client.Status.
+func TestRunServeStatusAndSLOFlags(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	out := &syncBuffer{}
+	done := make(chan struct{})
+	var code int
+	var runErr error
+	go func() {
+		defer close(done)
+		code, runErr = run([]string{
+			"-addr", "127.0.0.1:0", "-workers", "2", "-quiet",
+			"-telemetry-interval", "50ms",
+			"-slo", "check:5ms:99", "-slo", "check:availability:99.9",
+		}, out, sig)
+	}()
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("daemon never logged its address:\n%s", out.String())
+	}
+	cl := client.New(base)
+	ctx := context.Background()
+	if err := cl.WaitReady(ctx, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	source, err := os.ReadFile(filepath.Join("..", "..", "testdata", "valve.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Check(ctx, client.CheckRequest{Source: string(source)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	status, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latSLO *client.SLOStatus
+	for i := range status.SLOs {
+		if status.SLOs[i].Name == "check-latency" {
+			latSLO = &status.SLOs[i]
+		}
+	}
+	if latSLO == nil {
+		t.Fatalf("check-latency SLO missing: %+v", status.SLOs)
+	}
+	if latSLO.Latency != 5*time.Millisecond || latSLO.Target != 0.99 {
+		t.Errorf("-slo check:5ms:99 parsed as latency=%v target=%v", latSLO.Latency, latSLO.Target)
+	}
+	if len(status.Endpoints) == 0 {
+		t.Error("no endpoints in status after traffic")
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if code != 0 || runErr != nil {
+		t.Fatalf("run = (%d, %v), want (0, nil)\n%s", code, runErr, out.String())
+	}
+}
+
+// TestBadSLOFlag pins that a malformed -slo fails at flag-parse time.
+func TestBadSLOFlag(t *testing.T) {
+	out := &syncBuffer{}
+	if code, err := run([]string{"-slo", "check:sideways:99"}, out, nil); err == nil || code != 2 {
+		t.Errorf("bad -slo: (%d, %v), want code 2 and error", code, err)
+	}
+	if code, err := run([]string{"-slo", "check:1ms:250"}, out, nil); err == nil || code != 2 {
+		t.Errorf("bad -slo target: (%d, %v), want code 2 and error", code, err)
 	}
 }
 

@@ -38,6 +38,14 @@ type Config struct {
 
 	// Now is the clock (tests); nil means time.Now.
 	Now func() time.Time
+
+	// OnVerdict, when set, fires after every completed mining round
+	// that assigned a verdict, with the previous verdict and a copy of
+	// the fresh report — the hook that turns drift flips into alert
+	// events instead of a counter the operator has to poll. Called
+	// with the class state locked: the hook must not call back into
+	// the Miner.
+	OnVerdict func(prev string, r Report)
 }
 
 func (c Config) withDefaults() Config {
@@ -323,6 +331,9 @@ func (m *Miner) mineClass(ctx context.Context, cs *classState, resolve Resolver)
 		cs.report.StaticStates = 0
 		cs.failedVersion = 0
 		m.persist(cs)
+		if m.cfg.OnVerdict != nil {
+			m.cfg.OnVerdict(prev, cs.report)
+		}
 		return true, nil
 	}
 	verdict, cex, missing, err := Diff(ctx, cs.mined, static)
@@ -346,6 +357,9 @@ func (m *Miner) mineClass(ctx context.Context, cs *classState, resolve Resolver)
 	}
 	cs.failedVersion = 0
 	m.persist(cs)
+	if m.cfg.OnVerdict != nil {
+		m.cfg.OnVerdict(prev, cs.report)
+	}
 	return true, nil
 }
 

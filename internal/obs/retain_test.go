@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTraceBufferTakeReturnsWholeTree(t *testing.T) {
+	b := NewTraceBuffer(8, 8)
+	for i := 0; i < 3; i++ {
+		b.Export(SpanData{TraceID: "t1", SpanID: fmt.Sprintf("s%d", i)})
+	}
+	b.Export(SpanData{TraceID: "t2", SpanID: "other"})
+	spans, dropped, ok := b.Take("t1")
+	if !ok || len(spans) != 3 || dropped != 0 {
+		t.Fatalf("Take = %d spans dropped=%d ok=%v, want 3/0/true", len(spans), dropped, ok)
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", i); s.SpanID != want {
+			t.Errorf("span %d = %s, want %s (End order)", i, s.SpanID, want)
+		}
+	}
+	if _, _, ok := b.Take("t1"); ok {
+		t.Error("second Take of the same trace succeeded")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (t2 remains)", b.Len())
+	}
+}
+
+func TestTraceBufferPerTraceBoundKeepsLastSpan(t *testing.T) {
+	b := NewTraceBuffer(8, 4)
+	for i := 0; i < 10; i++ {
+		b.Export(SpanData{TraceID: "t", SpanID: fmt.Sprintf("s%d", i)})
+	}
+	spans, dropped, ok := b.Take("t")
+	if !ok || len(spans) != 4 {
+		t.Fatalf("Take = %d spans ok=%v, want 4", len(spans), ok)
+	}
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	// The final export (the root span in real traces) must survive.
+	if spans[3].SpanID != "s9" {
+		t.Errorf("last slot = %s, want s9", spans[3].SpanID)
+	}
+}
+
+func TestTraceBufferFIFOEviction(t *testing.T) {
+	b := NewTraceBuffer(3, 8)
+	for i := 0; i < 5; i++ {
+		b.Export(SpanData{TraceID: fmt.Sprintf("t%d", i), SpanID: "s"})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.Evicted() != 2 {
+		t.Errorf("Evicted = %d, want 2", b.Evicted())
+	}
+	if _, _, ok := b.Take("t0"); ok {
+		t.Error("evicted trace still takeable")
+	}
+	if _, _, ok := b.Take("t4"); !ok {
+		t.Error("newest trace missing")
+	}
+}
+
+func TestTraceBufferDiscard(t *testing.T) {
+	b := NewTraceBuffer(4, 4)
+	b.Export(SpanData{TraceID: "t", SpanID: "s"})
+	b.Discard("t")
+	b.Discard("unknown") // no-op
+	if b.Len() != 0 {
+		t.Errorf("Len = %d after discard, want 0", b.Len())
+	}
+	// Discarded slots are reusable without tripping eviction.
+	for i := 0; i < 4; i++ {
+		b.Export(SpanData{TraceID: fmt.Sprintf("n%d", i), SpanID: "s"})
+	}
+	if b.Evicted() != 0 {
+		t.Errorf("Evicted = %d, want 0", b.Evicted())
+	}
+	b.Export(SpanData{TraceID: "", SpanID: "ignored"})
+	if b.Len() != 4 {
+		t.Errorf("empty trace ID should be ignored; Len = %d", b.Len())
+	}
+}

@@ -182,7 +182,7 @@ func TestBatchBudgetRecordIs422(t *testing.T) {
 	if sum := stream.Summary(); sum.Succeeded != 2 || sum.Failed != 1 {
 		t.Fatalf("summary = %+v", sum)
 	}
-	waitMetric(t, cl, "shelley_budget_exceeded_total", 1)
+	waitMetric(t, cl, "shelleyd_budget_exceeded_total", 1)
 }
 
 // TestBatchRequestValidation pins the whole-batch refusals that happen

@@ -139,6 +139,15 @@ func BenchmarkServerCheckWarmInprocTraced(b *testing.B) {
 	benchCheckWarmInproc(b, Config{RequestTimeout: 60 * time.Second, Tracing: true})
 }
 
+// BenchmarkServerCheckWarmInprocTelemetry is the warm path under the
+// default operating posture of shelleyd: telemetry on (engine ticking,
+// tail sampling armed). The per-request cost over plain Inproc is the
+// telemetry tax — the lock-free histogram observe plus the exemplar
+// decision — which EXPERIMENTS.md P7 requires to stay within 5%.
+func BenchmarkServerCheckWarmInprocTelemetry(b *testing.B) {
+	benchCheckWarmInproc(b, Config{RequestTimeout: 60 * time.Second, Telemetry: true})
+}
+
 // benchWarm64 boots a daemon with 64 distinct resident modules and
 // returns a client plus their fingerprints — the shared fixture of the
 // batch-vs-singles pair recorded as EXPERIMENTS.md P4. BatchWindow is

@@ -66,8 +66,13 @@ func TestBudgetExceededAnswers422(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if v, ok := client.ParseMetric(metrics, "shelleyd_budget_exceeded_total"); !ok || v == 0 {
+		t.Fatalf("shelleyd_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
+	}
+	// The pre-rename family is kept as a deprecated alias for one
+	// release; pin it so removing it is a deliberate act.
 	if v, ok := client.ParseMetric(metrics, "shelley_budget_exceeded_total"); !ok || v == 0 {
-		t.Fatalf("shelley_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
+		t.Fatalf("deprecated alias shelley_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
 	}
 }
 
@@ -197,11 +202,11 @@ func TestHostileRunSurvives(t *testing.T) {
 	if err != nil {
 		t.Fatalf("daemon unhealthy after hostile run: %v", err)
 	}
-	if v, ok := client.ParseMetric(metrics, "shelley_panics_total"); !ok || v == 0 {
-		t.Fatalf("shelley_panics_total = %v (present=%v), want > 0", v, ok)
+	if v, ok := client.ParseMetric(metrics, "shelleyd_panics_total"); !ok || v == 0 {
+		t.Fatalf("shelleyd_panics_total = %v (present=%v), want > 0", v, ok)
 	}
-	if v, ok := client.ParseMetric(metrics, "shelley_budget_exceeded_total"); !ok || v == 0 {
-		t.Fatalf("shelley_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
+	if v, ok := client.ParseMetric(metrics, "shelleyd_budget_exceeded_total"); !ok || v == 0 {
+		t.Fatalf("shelleyd_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
 	}
 
 	// Bounded memory: after GC the heap must be far below what any

@@ -2,7 +2,9 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,20 +13,57 @@ import (
 	"github.com/shelley-go/shelley/internal/mine"
 	"github.com/shelley-go/shelley/internal/pipeline"
 	"github.com/shelley-go/shelley/internal/store"
+	"github.com/shelley-go/shelley/internal/telemetry"
 )
 
-// metrics is the daemon's observability surface, rendered as a
-// Prometheus-style text exposition on /metrics. Request-latency
-// histograms reuse the pipeline stats bucketing (pipeline.BucketIndex
-// / BucketLabels) so daemon and cache tables line up column for
-// column.
-type metrics struct {
-	// requests[endpoint][code] counts finished requests.
-	mu       sync.Mutex
-	requests map[string]map[int]uint64
+// endpointMetrics is one endpoint's request counters: status codes and
+// a fine-grained latency histogram, all plain atomics. Handlers
+// resolve their endpointMetrics pointer once at route-registration
+// time, so the per-request observe path takes no lock and touches no
+// map — the registry mutex exists only for registration and scrapes.
+type endpointMetrics struct {
+	name string
 
-	// latency[endpoint] is the request wall-time histogram.
-	latency map[string]*[pipeline.NumBuckets]atomic.Uint64
+	// codes[c-100] counts finished requests with status c (100..599);
+	// out-of-range codes clamp into the edge slots.
+	codes [500]atomic.Uint64
+
+	// lat is the request wall-time histogram in the fine telemetry
+	// bucketing (16 buckets/decade, 1µs..10s). The /metrics exposition
+	// rolls it up losslessly to the coarse pipeline-stats bounds via
+	// telemetry.RollupIndex.
+	lat [telemetry.NumLatBuckets]atomic.Uint64
+
+	// total counts finished requests; errors the 5xx subset.
+	total  atomic.Uint64
+	errors atomic.Uint64
+}
+
+// observe records one finished request. Lock-free.
+func (ep *endpointMetrics) observe(code int, elapsed time.Duration) {
+	i := code - 100
+	if i < 0 {
+		i = 0
+	} else if i >= len(ep.codes) {
+		i = len(ep.codes) - 1
+	}
+	ep.codes[i].Add(1)
+	ep.lat[telemetry.BucketIndex(elapsed)].Add(1)
+	ep.total.Add(1)
+	if code >= 500 {
+		ep.errors.Add(1)
+	}
+}
+
+// metrics is the daemon's observability surface: an enumerable metric
+// registry rendered as a Prometheus-style text exposition on /metrics
+// and snapshotted into the telemetry engine behind /v1/status. Every
+// family flows through families(), so the two surfaces cannot drift.
+type metrics struct {
+	// epMu guards endpoint registration only; observes go through
+	// pre-resolved *endpointMetrics pointers.
+	epMu sync.RWMutex
+	eps  map[string]*endpointMetrics
 
 	// coalesced counts requests that piggybacked on an identical
 	// in-flight request instead of executing.
@@ -118,80 +157,129 @@ type metrics struct {
 	// admitted ingest charge (events being appended right now).
 	ingestRejected       atomic.Uint64
 	ingestInflightEvents atomic.Int64
+
+	// exemplars counts requests tail-sampled into the telemetry
+	// exemplar ring (latency breach, error, or panic).
+	exemplars atomic.Uint64
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[string]map[int]uint64),
-		latency:  make(map[string]*[pipeline.NumBuckets]atomic.Uint64),
-	}
+	return &metrics{eps: make(map[string]*endpointMetrics)}
 }
 
-// observe records one finished request.
+// endpoint registers (or returns) the per-endpoint counters. Handlers
+// call this once at wiring time and keep the pointer.
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.epMu.RLock()
+	ep, ok := m.eps[name]
+	m.epMu.RUnlock()
+	if ok {
+		return ep
+	}
+	m.epMu.Lock()
+	defer m.epMu.Unlock()
+	if ep, ok = m.eps[name]; ok {
+		return ep
+	}
+	ep = &endpointMetrics{name: name}
+	m.eps[name] = ep
+	return ep
+}
+
+// observe records one finished request by endpoint name — the
+// convenience form for callers without a pre-resolved pointer.
 func (m *metrics) observe(endpoint string, code int, elapsed time.Duration) {
-	m.mu.Lock()
-	byCode, ok := m.requests[endpoint]
-	if !ok {
-		byCode = make(map[int]uint64)
-		m.requests[endpoint] = byCode
-	}
-	byCode[code]++
-	hist, ok := m.latency[endpoint]
-	if !ok {
-		hist = new([pipeline.NumBuckets]atomic.Uint64)
-		m.latency[endpoint] = hist
-	}
-	m.mu.Unlock()
-	hist[pipeline.BucketIndex(elapsed)].Add(1)
+	m.endpoint(endpoint).observe(code, elapsed)
 }
 
-// render writes the exposition. pipelineStats aggregates the caches of
-// every resident module, so cache behavior inside the daemon is
-// scrapeable without a side channel; st (nil when persistence is off)
-// contributes the shelleyd_store_* family.
-func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *store.Store) {
-	fmt.Fprintf(b, "# HELP shelleyd_requests_total Finished requests by endpoint and status code.\n")
-	fmt.Fprintf(b, "# TYPE shelleyd_requests_total counter\n")
-	m.mu.Lock()
-	endpoints := make([]string, 0, len(m.requests))
-	for ep := range m.requests {
-		endpoints = append(endpoints, ep)
+// endpointsSorted snapshots the registered endpoints in name order.
+func (m *metrics) endpointsSorted() []*endpointMetrics {
+	m.epMu.RLock()
+	out := make([]*endpointMetrics, 0, len(m.eps))
+	for _, ep := range m.eps {
+		out = append(out, ep)
 	}
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		codes := make([]int, 0, len(m.requests[ep]))
-		for code := range m.requests[ep] {
-			codes = append(codes, code)
-		}
-		sort.Ints(codes)
-		for _, code := range codes {
-			fmt.Fprintf(b, "shelleyd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, code, m.requests[ep][code])
-		}
-	}
+	m.epMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
 
-	fmt.Fprintf(b, "# HELP shelleyd_request_duration_bucket Request wall time (pipeline-stats bucketing; le is the inclusive upper bound, +Inf the overflow bucket).\n")
-	fmt.Fprintf(b, "# TYPE shelleyd_request_duration_bucket counter\n")
-	histEndpoints := make([]string, 0, len(m.latency))
-	for ep := range m.latency {
-		histEndpoints = append(histEndpoints, ep)
+// labelPair is one exposition label; samples keep them in a fixed
+// order so scrapes are byte-stable.
+type labelPair struct{ k, v string }
+
+type metricSample struct {
+	labels []labelPair
+	value  float64
+}
+
+type metricFamily struct {
+	name, help, kind string // kind is "counter" or "gauge"
+	samples          []metricSample
+}
+
+// mineSnapshot carries the mining subsystem's data into families();
+// nil when the daemon runs without -mine.
+type mineSnapshot struct {
+	counters mine.Counters
+	reports  []mine.Report
+}
+
+// families enumerates every metric family with its current samples, in
+// stable order. Both scrape surfaces — the /metrics exposition and the
+// telemetry engine's Sample — are derived from this one enumeration.
+func (m *metrics) families(ps pipeline.Stats, st *store.Store, ms *mineSnapshot) []metricFamily {
+	var fams []metricFamily
+
+	eps := m.endpointsSorted()
+	reqFam := metricFamily{
+		name: "shelleyd_requests_total", kind: "counter",
+		help: "Finished requests by endpoint and status code.",
 	}
-	sort.Strings(histEndpoints)
-	for _, ep := range histEndpoints {
-		hist := m.latency[ep]
+	for _, ep := range eps {
+		for i := range ep.codes {
+			if n := ep.codes[i].Load(); n != 0 {
+				reqFam.samples = append(reqFam.samples, metricSample{
+					labels: []labelPair{{"endpoint", ep.name}, {"code", strconv.Itoa(i + 100)}},
+					value:  float64(n),
+				})
+			}
+		}
+	}
+	fams = append(fams, reqFam)
+
+	durFam := metricFamily{
+		name: "shelleyd_request_duration_bucket", kind: "counter",
+		help: "Request wall time (pipeline-stats bucketing; le is the inclusive upper bound, +Inf the overflow bucket).",
+	}
+	for _, ep := range eps {
+		var coarse [pipeline.NumBuckets]uint64
+		for i := range ep.lat {
+			coarse[telemetry.RollupIndex(i)] += ep.lat[i].Load()
+		}
 		var cum uint64
 		for i := 0; i < pipeline.NumBuckets; i++ {
-			cum += hist[i].Load()
+			cum += coarse[i]
 			le := "+Inf"
 			if bound := pipeline.BucketBound(i); bound >= 0 {
 				le = bound.String()
 			}
-			fmt.Fprintf(b, "shelleyd_request_duration_bucket{endpoint=%q,le=%q} %d\n", ep, le, cum)
+			durFam.samples = append(durFam.samples, metricSample{
+				labels: []labelPair{{"endpoint", ep.name}, {"le", le}},
+				value:  float64(cum),
+			})
 		}
 	}
-	m.mu.Unlock()
+	fams = append(fams, durFam)
 
-	counter := func(name, help string, v uint64) { writeCounter(b, name, help, v) }
-	gauge := func(name, help string, v int64) { writeGauge(b, name, help, v) }
+	counter := func(name, help string, v uint64) {
+		fams = append(fams, metricFamily{name: name, help: help, kind: "counter",
+			samples: []metricSample{{value: float64(v)}}})
+	}
+	gauge := func(name, help string, v int64) {
+		fams = append(fams, metricFamily{name: name, help: help, kind: "gauge",
+			samples: []metricSample{{value: float64(v)}}})
+	}
 	counter("shelleyd_coalesced_total", "Requests served by piggybacking on an identical in-flight request.", m.coalesced.Load())
 	counter("shelleyd_module_cache_hits_total", "Requests served by an already-resident module.", m.moduleHits.Load())
 	counter("shelleyd_check_body_cache_hits_total", "Check requests answered from a resident module's memoized response body.", m.bodyCacheHits.Load())
@@ -200,8 +288,13 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *s
 	counter("shelleyd_timeouts_queue_total", "Jobs that expired before a worker picked them up.", m.timeoutQueue.Load())
 	counter("shelleyd_timeouts_wait_total", "Waiters whose own deadline ended before the shared result.", m.timeoutWait.Load())
 	counter("shelleyd_saturated_total", "Submissions rejected with 503 (queue full or draining).", m.saturated.Load())
-	counter("shelley_panics_total", "Verification panics contained at the worker boundary (answered 500).", m.panics.Load())
-	counter("shelley_budget_exceeded_total", "Requests answered with a structured resource-budget error.", m.budgetExceeded.Load())
+	counter("shelleyd_panics_total", "Verification panics contained at the worker boundary (answered 500).", m.panics.Load())
+	counter("shelleyd_budget_exceeded_total", "Requests answered with a structured resource-budget error.", m.budgetExceeded.Load())
+	// Deprecated aliases: these two families shipped without the
+	// shelleyd_ prefix every other daemon family uses. Kept for one
+	// release so existing scrape configs keep working; remove next.
+	counter("shelley_panics_total", "DEPRECATED alias of shelleyd_panics_total; will be removed next release.", m.panics.Load())
+	counter("shelley_budget_exceeded_total", "DEPRECATED alias of shelleyd_budget_exceeded_total; will be removed next release.", m.budgetExceeded.Load())
 	counter("shelleyd_batch_items_total", "Batch items admitted across /v1/check-batch streams and async jobs.", m.batchItems.Load())
 	counter("shelleyd_batch_item_errors_total", "Batch items that finished with a non-200 record.", m.batchItemErrors.Load())
 	counter("shelleyd_batch_admission_rejected_total", "Whole batches refused by admission control (429/503 with Retry-After).", m.batchRejected.Load())
@@ -210,6 +303,7 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *s
 	counter("shelleyd_batch_backpressure_total", "Batch submissions that blocked on a full pool queue instead of shedding.", m.batchBackpressure.Load())
 	counter("shelleyd_jobs_total", "Async verification jobs accepted via POST /v1/jobs.", m.jobsSubmitted.Load())
 	counter("shelleyd_response_write_errors_total", "Response writes that failed after the status was committed (client gone).", m.writeErrors.Load())
+	counter("shelleyd_exemplars_total", "Requests tail-sampled into the telemetry exemplar ring.", m.exemplars.Load())
 	gauge("shelleyd_batch_inflight_items", "Admission charge held (sync batches by item count, jobs by pool occupancy).", m.batchInflightItems.Load())
 	gauge("shelleyd_jobs_active", "Async jobs still running.", m.jobsActive.Load())
 	gauge("shelleyd_queue_depth", "Jobs waiting for a worker.", m.queueDepth.Load())
@@ -238,21 +332,139 @@ func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *s
 		gauge("shelleyd_store_degraded", "1 when the store has seen any filesystem failure since boot (requests still succeed via recompute).", degraded)
 	}
 
-	fmt.Fprintf(b, "# HELP shelleyd_pipeline_stage_total Pipeline-cache counters aggregated over resident modules.\n")
-	fmt.Fprintf(b, "# TYPE shelleyd_pipeline_stage_total counter\n")
-	for _, st := range pipelineStats.Stages {
-		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"hits\"} %d\n", st.Stage, st.Hits)
-		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"misses\"} %d\n", st.Stage, st.Misses)
-		fmt.Fprintf(b, "shelleyd_pipeline_stage_total{stage=%q,kind=\"persist_hits\"} %d\n", st.Stage, st.PersistHits)
+	stageFam := metricFamily{
+		name: "shelleyd_pipeline_stage_total", kind: "counter",
+		help: "Pipeline-cache counters aggregated over resident modules.",
+	}
+	for _, stg := range ps.Stages {
+		for _, kv := range []struct {
+			kind string
+			v    uint64
+		}{{"hits", stg.Hits}, {"misses", stg.Misses}, {"persist_hits", stg.PersistHits}} {
+			stageFam.samples = append(stageFam.samples, metricSample{
+				labels: []labelPair{{"stage", stg.Stage}, {"kind", kv.kind}},
+				value:  float64(kv.v),
+			})
+		}
+	}
+	fams = append(fams, stageFam)
+
+	if ms != nil {
+		c := ms.counters
+		counter("shelleyd_mine_ingested_traces_total", "Trace observations accepted into per-class corpora.", c.IngestedTraces)
+		counter("shelleyd_mine_ingested_events_total", "Individual events accepted into per-class corpora.", c.IngestedEvents)
+		counter("shelleyd_mine_shed_traces_total", "Trace observations dropped by a corpus or class bound (counted, never blocked).", c.ShedTraces)
+		counter("shelleyd_mine_rounds_total", "Completed per-class mining rounds (L* plus drift diff).", c.Rounds)
+		counter("shelleyd_mine_budget_tripped_total", "Mining rounds stopped by a resource budget or deadline.", c.BudgetTripped)
+		counter("shelleyd_drift_flips_total", "Verdict transitions into DRIFT (one page per flip, not per scrape).", c.DriftFlips)
+		counter("shelleyd_ingest_rejected_total", "Whole ingest frames refused by admission control (429/503 with Retry-After).", m.ingestRejected.Load())
+		gauge("shelleyd_ingest_inflight_events", "Admitted ingest charge currently being appended.", m.ingestInflightEvents.Load())
+		gauge("shelleyd_mine_classes", "Classes with a tracked corpus or restored mined model.", int64(len(ms.reports)))
+
+		byVerdict := make(map[string]int, len(driftVerdicts))
+		for _, r := range ms.reports {
+			byVerdict[r.Verdict]++
+		}
+		driftFam := metricFamily{
+			name: "shelleyd_drift_classes", kind: "gauge",
+			help: "Tracked classes by current drift verdict.",
+		}
+		for _, v := range driftVerdicts {
+			driftFam.samples = append(driftFam.samples, metricSample{
+				labels: []labelPair{{"verdict", v}},
+				value:  float64(byVerdict[v]),
+			})
+		}
+		fams = append(fams, driftFam)
+	}
+
+	return fams
+}
+
+// render writes the exposition. pipelineStats aggregates the caches of
+// every resident module, so cache behavior inside the daemon is
+// scrapeable without a side channel; st (nil when persistence is off)
+// contributes the shelleyd_store_* family; ms (nil without -mine) the
+// mining families.
+func (m *metrics) render(b *strings.Builder, pipelineStats pipeline.Stats, st *store.Store, ms *mineSnapshot) {
+	for _, f := range m.families(pipelineStats, st, ms) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			writeLabels(b, s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatMetricValue(s.value))
+			b.WriteByte('\n')
+		}
 	}
 }
 
-func writeCounter(b *strings.Builder, name, help string, v uint64) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+func writeLabels(b *strings.Builder, labels []labelPair) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.k)
+		b.WriteString("=\"")
+		b.WriteString(l.v)
+		b.WriteString("\"")
+	}
+	b.WriteByte('}')
 }
 
-func writeGauge(b *strings.Builder, name, help string, v int64) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+// formatMetricValue renders counts as integers (matching the historic
+// %d exposition) and anything fractional as a minimal float.
+func formatMetricValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sample converts the registry into one telemetry.Sample: scalar
+// families become counter/gauge series (labeled samples keyed by their
+// rendered name), per-endpoint histograms ride separately at full fine
+// resolution. Called once per telemetry tick.
+func (m *metrics) sample(ps pipeline.Stats, st *store.Store, ms *mineSnapshot) telemetry.Sample {
+	out := telemetry.Sample{
+		Counters: make(map[string]float64),
+		Gauges:   make(map[string]float64),
+		Hists:    make(map[string]telemetry.HistSample),
+	}
+	for _, f := range m.families(ps, st, ms) {
+		// The request/duration families are carried by Hists below at
+		// full resolution; skipping them here avoids duplicate series.
+		if f.name == "shelleyd_requests_total" || f.name == "shelleyd_request_duration_bucket" {
+			continue
+		}
+		for _, s := range f.samples {
+			key := f.name
+			if len(s.labels) > 0 {
+				var lb strings.Builder
+				writeLabels(&lb, s.labels)
+				key += lb.String()
+			}
+			if f.kind == "gauge" {
+				out.Gauges[key] = s.value
+			} else {
+				out.Counters[key] = s.value
+			}
+		}
+	}
+	for _, ep := range m.endpointsSorted() {
+		var h telemetry.HistSample
+		for i := range ep.lat {
+			h.Buckets[i] = ep.lat[i].Load()
+		}
+		h.Total = ep.total.Load()
+		h.Errors = ep.errors.Load()
+		out.Hists[ep.name] = h
+	}
+	return out
 }
 
 // driftVerdicts is the fixed label order of the shelleyd_drift_classes
@@ -260,29 +472,4 @@ func writeGauge(b *strings.Builder, name, help string, v int64) {
 var driftVerdicts = []string{
 	mine.VerdictPending, mine.VerdictConformant, mine.VerdictUnder,
 	mine.VerdictDrift, mine.VerdictNoStatic, mine.VerdictError,
-}
-
-// renderMine appends the shelleyd_mine_* / shelleyd_drift_* families —
-// the mining subsystem's scrape surface, rendered only on daemons
-// started with mining enabled.
-func (m *metrics) renderMine(b *strings.Builder, c mine.Counters, reports []mine.Report) {
-	writeCounter(b, "shelleyd_mine_ingested_traces_total", "Trace observations accepted into per-class corpora.", c.IngestedTraces)
-	writeCounter(b, "shelleyd_mine_ingested_events_total", "Individual events accepted into per-class corpora.", c.IngestedEvents)
-	writeCounter(b, "shelleyd_mine_shed_traces_total", "Trace observations dropped by a corpus or class bound (counted, never blocked).", c.ShedTraces)
-	writeCounter(b, "shelleyd_mine_rounds_total", "Completed per-class mining rounds (L* plus drift diff).", c.Rounds)
-	writeCounter(b, "shelleyd_mine_budget_tripped_total", "Mining rounds stopped by a resource budget or deadline.", c.BudgetTripped)
-	writeCounter(b, "shelleyd_drift_flips_total", "Verdict transitions into DRIFT (one page per flip, not per scrape).", c.DriftFlips)
-	writeCounter(b, "shelleyd_ingest_rejected_total", "Whole ingest frames refused by admission control (429/503 with Retry-After).", m.ingestRejected.Load())
-	writeGauge(b, "shelleyd_ingest_inflight_events", "Admitted ingest charge currently being appended.", m.ingestInflightEvents.Load())
-	writeGauge(b, "shelleyd_mine_classes", "Classes with a tracked corpus or restored mined model.", int64(len(reports)))
-
-	byVerdict := make(map[string]int, len(driftVerdicts))
-	for _, r := range reports {
-		byVerdict[r.Verdict]++
-	}
-	fmt.Fprintf(b, "# HELP shelleyd_drift_classes Tracked classes by current drift verdict.\n")
-	fmt.Fprintf(b, "# TYPE shelleyd_drift_classes gauge\n")
-	for _, v := range driftVerdicts {
-		fmt.Fprintf(b, "shelleyd_drift_classes{verdict=%q} %d\n", v, byVerdict[v])
-	}
 }

@@ -43,6 +43,7 @@ import (
 	"github.com/shelley-go/shelley/internal/mine"
 	"github.com/shelley-go/shelley/internal/obs"
 	"github.com/shelley-go/shelley/internal/store"
+	"github.com/shelley-go/shelley/internal/telemetry"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -181,6 +182,33 @@ type Config struct {
 	// client (503 beyond). 0 means 4×MaxClientEvents.
 	MaxIngestInflight int
 
+	// Telemetry enables the in-process time-series engine: the metric
+	// registry is snapshotted every TelemetryInterval into rolling
+	// rings, SLOs are evaluated with burn-rate alerts, interesting
+	// requests are tail-sampled into an exemplar ring with their span
+	// trees, and GET /v1/status serves the result (JSON, or a
+	// self-contained dashboard with ?format=html). Off by default —
+	// /v1/status answers 404.
+	Telemetry bool
+
+	// TelemetryInterval is the engine's base snapshot period (the fine
+	// ring's resolution). 0 means 1s.
+	TelemetryInterval time.Duration
+
+	// SLOs are the objectives the engine evaluates. Empty means two
+	// defaults: check availability 99.9% and check latency p99 < 1ms
+	// per telemetry.DefaultSLOs.
+	SLOs []telemetry.SLO
+
+	// ExemplarLatency is the fallback tail-sampling threshold for
+	// endpoints without a latency SLO: a slower request is kept as an
+	// exemplar. Endpoints with a latency SLO use its threshold.
+	// 0 means 100ms.
+	ExemplarLatency time.Duration
+
+	// Exemplars bounds the exemplar ring. 0 means 64.
+	Exemplars int
+
 	// jobHook, when set, runs at the start of every pooled job — a
 	// test-only seam that lets the suite hold workers at a barrier and
 	// observe saturation, coalescing, and drain deterministically.
@@ -250,6 +278,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxIngestInflight <= 0 {
 		c.MaxIngestInflight = 4 * c.MaxClientEvents
 	}
+	if c.TelemetryInterval <= 0 {
+		c.TelemetryInterval = time.Second
+	}
+	if len(c.SLOs) == 0 {
+		c.SLOs = telemetry.DefaultSLOs()
+	}
+	if c.ExemplarLatency <= 0 {
+		c.ExemplarLatency = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -293,11 +330,24 @@ type Server struct {
 	mineDone     chan struct{}
 	mineStopOnce sync.Once
 
-	// tracer and ring are non-nil iff Config.Tracing; logger is
-	// Config.Logger verbatim (nil = quiet).
+	// tracer is non-nil when Config.Tracing or Config.Telemetry (the
+	// exemplar span trees need spans); ring only with Tracing; logger
+	// is Config.Logger verbatim (nil = quiet).
 	tracer *obs.Tracer
 	ring   *obs.Ring
 	logger *slog.Logger
+
+	// engine and traceBuf are non-nil iff Config.Telemetry. The
+	// telemetry loop ticks the engine from New until Shutdown;
+	// latThresh holds the per-endpoint exemplar thresholds derived
+	// from the latency SLOs.
+	engine       *telemetry.Engine
+	traceBuf     *obs.TraceBuffer
+	latThresh    map[string]time.Duration
+	teleCtx      context.Context
+	teleCancel   context.CancelFunc
+	teleDone     chan struct{}
+	teleStopOnce sync.Once
 
 	httpSrv  *http.Server
 	listener net.Listener
@@ -326,13 +376,37 @@ func New(cfg Config) *Server {
 		logger:     cfg.Logger,
 	}
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
+	var tracerOpts []obs.Option
 	if cfg.Tracing {
 		size := cfg.TraceRingSize
 		if size <= 0 {
 			size = 4096
 		}
 		s.ring = obs.NewRing(size)
-		s.tracer = obs.New(obs.WithExporter(s.ring))
+		tracerOpts = append(tracerOpts, obs.WithExporter(s.ring))
+	}
+	if cfg.Telemetry {
+		// Retain every request's span tree briefly so tail sampling
+		// can claim the interesting ones after the fact.
+		s.traceBuf = obs.NewTraceBuffer(0, 0)
+		tracerOpts = append(tracerOpts, obs.WithExporter(s.traceBuf))
+		s.engine = telemetry.New(telemetry.Config{
+			Tiers:     telemetryTiers(cfg.TelemetryInterval),
+			SLOs:      cfg.SLOs,
+			Exemplars: cfg.Exemplars,
+			Source:    func() telemetry.Sample { return s.met.sample(s.modules.stats(), s.store, s.mineSnap()) },
+		})
+		s.latThresh = make(map[string]time.Duration)
+		for _, slo := range cfg.SLOs {
+			if slo.Latency > 0 {
+				if cur, ok := s.latThresh[slo.Endpoint]; !ok || slo.Latency < cur {
+					s.latThresh[slo.Endpoint] = slo.Latency
+				}
+			}
+		}
+	}
+	if len(tracerOpts) > 0 {
+		s.tracer = obs.New(tracerOpts...)
 	}
 	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
 	s.mux.HandleFunc("POST /v1/infer", s.instrument("infer", s.handleInfer))
@@ -346,15 +420,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/drift", s.instrument("drift", s.handleDrift))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/trace-export", s.handleTraceExport)
 	if cfg.Mine {
 		mc := cfg.MineConfig
 		mc.Store = cfg.Store
+		if s.engine != nil {
+			mc.OnVerdict = s.onMineVerdict
+		}
 		s.miner = mine.NewMiner(mc)
 		s.ingestAdm = newAdmission(cfg.MaxClientEvents, cfg.MaxIngestInflight, &met.ingestRejected, &met.ingestInflightEvents)
 		s.mineCtx, s.mineCancel = context.WithCancel(context.Background())
 		s.mineDone = make(chan struct{})
 		go s.mineLoop()
+	}
+	if s.engine != nil {
+		s.teleCtx, s.teleCancel = context.WithCancel(context.Background())
+		s.teleDone = make(chan struct{})
+		go s.teleLoop()
 	}
 	return s
 }
@@ -416,6 +499,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// progress, so its final store Puts are enqueued before the flush at
 	// the end of the drain — a clean shutdown loses no mined verdict.
 	s.stopMiner()
+	s.stopTelemetry()
 	s.pool.drain()
 	var err error
 	if s.httpSrv != nil {
@@ -490,6 +574,7 @@ type reqInfo struct{ coalesced atomic.Bool }
 // the response header), and one structured access-log record.
 func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
 	spanName := "http." + endpoint // hoisted off the per-request path
+	ep := s.met.endpoint(endpoint) // pre-registered: observe is lock-free
 	return func(w http.ResponseWriter, r *http.Request) {
 		traceID := r.Header.Get("X-Shelley-Trace")
 		if !obs.ValidTraceID(traceID) {
@@ -512,10 +597,13 @@ func (s *Server) instrument(endpoint string, h func(w http.ResponseWriter, r *ht
 		code := h(w, r)
 		s.met.inflight.Add(-1)
 		elapsed := time.Since(start)
-		s.met.observe(endpoint, code, elapsed)
+		ep.observe(code, elapsed)
 
 		span.SetAttr(obs.Int("status", code), obs.Bool("coalesced", info.coalesced.Load()))
 		span.End()
+		// Tail sampling runs after span.End so the exemplar can claim
+		// the finished root span from the trace buffer.
+		s.maybeExemplar(endpoint, traceID, code, elapsed)
 		if s.logger != nil {
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "access",
 				slog.String("method", r.Method),
@@ -982,10 +1070,7 @@ func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.met.render(&b, s.modules.stats(), s.store)
-	if s.miner != nil {
-		s.met.renderMine(&b, s.miner.Counters(), s.miner.Reports())
-	}
+	s.met.render(&b, s.modules.stats(), s.store, s.mineSnap())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
 }

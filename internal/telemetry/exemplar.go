@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"time"
+
+	"github.com/shelley-go/shelley/internal/obs"
+)
+
+// Exemplar is one tail-sampled interesting request: its identity, why
+// it was kept, where it landed in the latency histogram, and its full
+// span tree (retained from the request's root span by the server's
+// trace buffer).
+type Exemplar struct {
+	TraceID  string
+	Endpoint string
+	Code     int
+
+	// Reason is "latency" (breached the endpoint's threshold),
+	// "error" (non-2xx), or "panic" (contained panic answered 500).
+	Reason string
+
+	Duration time.Duration
+
+	// Bucket is the fine histogram bucket the request landed in (see
+	// BucketIndex), linking the exemplar to the quantile math.
+	Bucket int
+
+	At    time.Time
+	Spans []obs.SpanData
+
+	// SpansDropped counts spans the retention buffer had to drop for
+	// this trace (oversized trees keep their root plus the earliest
+	// spans).
+	SpansDropped int
+}
+
+// AddExemplar records one exemplar, evicting the oldest once the ring
+// is full.
+func (e *Engine) AddExemplar(x Exemplar) {
+	e.exMu.Lock()
+	defer e.exMu.Unlock()
+	if len(e.ex) < e.cfg.Exemplars {
+		e.ex = append(e.ex, x)
+		return
+	}
+	e.ex[e.exNext] = x
+	e.exNext = (e.exNext + 1) % len(e.ex)
+}
+
+// Exemplars returns the retained exemplars, newest first.
+func (e *Engine) Exemplars() []Exemplar {
+	e.exMu.Lock()
+	defer e.exMu.Unlock()
+	out := make([]Exemplar, 0, len(e.ex))
+	// Before the ring wraps, e.ex is in insertion order; after, the
+	// oldest entry sits at exNext.
+	for k := len(e.ex) - 1; k >= 0; k-- {
+		i := k
+		if len(e.ex) == e.cfg.Exemplars {
+			i = (e.exNext + k) % len(e.ex)
+		}
+		out = append(out, e.ex[i])
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is one service-level objective over an endpoint's histogram
+// family. Target is the objective success ratio in (0, 1): 0.999 means
+// at most one bad request per thousand. With Latency zero the SLO is an
+// availability objective (bad = 5xx); with Latency set it is a latency
+// objective (bad = finished above Latency). Latency thresholds are
+// evaluated at the containing bucket's upper bound, so a threshold that
+// is an exact bucket bound (any 1µs·10^(k/16), e.g. 1ms) is exact.
+type SLO struct {
+	Name     string        `json:"name"`
+	Endpoint string        `json:"endpoint"`
+	Target   float64       `json:"target"`
+	Latency  time.Duration `json:"latency,omitempty"`
+}
+
+// String renders the flag form, endpoint:latency:target or
+// endpoint:availability:target.
+func (s SLO) String() string {
+	kind := "availability"
+	if s.Latency > 0 {
+		kind = s.Latency.String()
+	}
+	return fmt.Sprintf("%s:%s:%g", s.Endpoint, kind, s.Target*100)
+}
+
+// DefaultSLOs are the objectives a daemon evaluates when none are
+// configured: checks answer successfully 99.9% of the time, and 99% of
+// them inside a millisecond (the warm-path promise).
+func DefaultSLOs() []SLO {
+	return []SLO{
+		{Name: "check-availability", Endpoint: "check", Target: 0.999},
+		{Name: "check-latency", Endpoint: "check", Target: 0.99, Latency: time.Millisecond},
+	}
+}
+
+// ParseSLO parses the -slo flag form: endpoint:latency:target or
+// endpoint:availability:target, where latency is a Go duration
+// ("1ms") and target a percentage ("99.9").
+//
+//	check:1ms:99          99% of checks under 1ms
+//	check:availability:99.9   99.9% of checks non-5xx
+func ParseSLO(spec string) (SLO, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return SLO{}, fmt.Errorf("slo %q: want endpoint:latency:target or endpoint:availability:target", spec)
+	}
+	s := SLO{Endpoint: parts[0]}
+	kind := parts[1]
+	if kind == "availability" {
+		s.Name = parts[0] + "-availability"
+	} else {
+		d, err := time.ParseDuration(kind)
+		if err != nil || d <= 0 {
+			return SLO{}, fmt.Errorf("slo %q: latency %q is neither a positive duration nor \"availability\"", spec, kind)
+		}
+		s.Latency = d
+		s.Name = parts[0] + "-latency"
+	}
+	pct, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || pct <= 0 || pct >= 100 {
+		return SLO{}, fmt.Errorf("slo %q: target %q must be a percentage in (0, 100)", spec, parts[2])
+	}
+	s.Target = pct / 100
+	return s, nil
+}
+
+// burnRule is one multi-window burn-rate alert rule (Google SRE
+// workbook): fire when the error budget burns `burn`× faster than
+// sustainable over BOTH windows — the long window for significance,
+// the short one so recovered incidents stop firing quickly.
+type burnRule struct {
+	severity string
+	burn     float64
+	short    time.Duration
+	long     time.Duration
+}
+
+var burnRules = []burnRule{
+	{severity: "page", burn: 14.4, short: 5 * time.Minute, long: time.Hour},
+	{severity: "warn", burn: 6, short: 30 * time.Minute, long: 2 * time.Hour},
+}
+
+// budgetWindow is the rolling window error budgets are accounted over
+// (the longest alert window).
+const budgetWindow = 2 * time.Hour
+
+// SLOStatus is one objective's current evaluation.
+type SLOStatus struct {
+	SLO SLO
+
+	// BadFrac is the bad-request fraction over Window (the budget
+	// window, clamped to retained history).
+	BadFrac float64
+	Window  time.Duration
+
+	// BurnFast and BurnSlow are the burn rates over the page rule's
+	// 5m/1h windows (clamped): multiples of the sustainable error
+	// rate, so 1.0 spends exactly the budget and 14.4 exhausts a
+	// 30-day budget in two days.
+	BurnFast float64
+	BurnSlow float64
+
+	// BudgetRemaining is the error budget left over Window, in [0, 1].
+	BudgetRemaining float64
+
+	// Firing is "", "warn", or "page".
+	Firing string
+}
+
+// Alert is one firing condition — an SLO burn or an externally set
+// event (drift flips). Keys are stable across evaluations so Since
+// survives re-evaluation.
+type Alert struct {
+	Key      string    `json:"key"`
+	Severity string    `json:"severity"`
+	Since    time.Time `json:"since"`
+	Message  string    `json:"message"`
+	Value    float64   `json:"value,omitempty"`
+
+	// Counterexample carries the offending trace for drift alerts.
+	Counterexample []string `json:"counterexample,omitempty"`
+}
+
+// badFracLocked computes the bad-request fraction for one SLO over a
+// window. total is the request count the fraction is over; ok is false
+// before two snapshots exist.
+func (e *Engine) badFracLocked(s SLO, window time.Duration) (frac float64, effective time.Duration, total uint64, ok bool) {
+	st, ok := e.endpointLocked(s.Endpoint, window)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	if st.Total == 0 {
+		return 0, st.Window, 0, true
+	}
+	var bad uint64
+	if s.Latency <= 0 {
+		bad = st.Errors
+	} else {
+		newest, old, _ := e.pairFor(window)
+		var diff [NumLatBuckets]uint64
+		expand(newest.hists[s.Endpoint].buckets, old.hists[s.Endpoint].buckets, &diff)
+		cut := BucketIndex(s.Latency)
+		var good uint64
+		for i := 0; i <= cut && i < NumLatBuckets; i++ {
+			good += diff[i]
+		}
+		bad = sub64(st.Total, good)
+	}
+	return float64(bad) / float64(st.Total), st.Window, st.Total, true
+}
+
+// evalSLOs re-evaluates every objective and reconciles the alert map.
+// Caller holds e.mu.
+func (e *Engine) evalSLOs(now time.Time) {
+	if len(e.cfg.SLOs) == 0 {
+		return
+	}
+	statuses := make([]SLOStatus, 0, len(e.cfg.SLOs))
+	for _, s := range e.cfg.SLOs {
+		st := SLOStatus{SLO: s, BudgetRemaining: 1}
+		budget := 1 - s.Target
+		if bf, w, total, ok := e.badFracLocked(s, budgetWindow); ok {
+			st.BadFrac, st.Window = bf, w
+			if total > 0 && budget > 0 {
+				st.BudgetRemaining = 1 - bf/budget
+				if st.BudgetRemaining < 0 {
+					st.BudgetRemaining = 0
+				}
+			}
+		}
+		if budget > 0 {
+			if bf, _, total, ok := e.badFracLocked(s, burnRules[0].short); ok && total > 0 {
+				st.BurnFast = bf / budget
+			}
+			if bf, _, total, ok := e.badFracLocked(s, burnRules[0].long); ok && total > 0 {
+				st.BurnSlow = bf / budget
+			}
+			for _, rule := range burnRules {
+				bs, _, ts, ok1 := e.badFracLocked(s, rule.short)
+				bl, _, tl, ok2 := e.badFracLocked(s, rule.long)
+				if !ok1 || !ok2 || ts == 0 || tl == 0 {
+					continue
+				}
+				if bs/budget > rule.burn && bl/budget > rule.burn {
+					st.Firing = rule.severity
+					break // rules are ordered page first
+				}
+			}
+		}
+		key := "slo:" + s.Name
+		if st.Firing != "" {
+			a := Alert{
+				Key:      key,
+				Severity: st.Firing,
+				Since:    now,
+				Value:    st.BurnFast,
+				Message: fmt.Sprintf("SLO %s burning %.1fx budget (bad %.2f%% over %s, objective %g%%)",
+					s.Name, st.BurnFast, st.BadFrac*100, st.Window.Round(time.Second), s.Target*100),
+			}
+			if prev, ok := e.alerts[key]; ok {
+				a.Since = prev.Since
+			}
+			e.alerts[key] = a
+		} else {
+			delete(e.alerts, key)
+		}
+		statuses = append(statuses, st)
+	}
+	e.sloSt = statuses
+}
+
+// SLOStatuses returns the latest evaluation of every objective, in
+// config order.
+func (e *Engine) SLOStatuses() []SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SLOStatus, len(e.sloSt))
+	copy(out, e.sloSt)
+	return out
+}
+
+// SetAlert inserts or refreshes an externally owned alert (drift
+// flips). A zero Since is stamped from an existing alert with the same
+// key, so repeated sets don't reset the firing time.
+func (e *Engine) SetAlert(a Alert) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.alerts[a.Key]; ok && !prev.Since.IsZero() {
+		a.Since = prev.Since
+	}
+	e.alerts[a.Key] = a
+}
+
+// ClearAlert removes an alert by key (no-op when absent).
+func (e *Engine) ClearAlert(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.alerts, key)
+}
+
+// Alerts returns every firing alert, pages first, then by key.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, 0, len(e.alerts))
+	for _, a := range e.alerts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity == "page"
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
