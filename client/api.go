@@ -145,6 +145,93 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// WatchRequest is the body of POST /v1/watch: push one source
+// generation into a named watch session. The daemon diffs it against
+// the session's resident generation at method granularity, re-verifies
+// only the classes the diff invalidates (everything else is answered
+// from the session's warm pipeline cache), and publishes the resulting
+// WatchUpdate to every long-poller of the session.
+type WatchRequest struct {
+	// Session names the watch session; required. Sessions are created on
+	// first use and keyed per daemon, so concurrent editors should pick
+	// distinct names.
+	Session string `json:"session"`
+
+	// Source is the full MicroPython source of the new generation;
+	// required (watch mode diffs server-side, so there is no
+	// fingerprint-only form).
+	Source string `json:"source"`
+
+	// Precise switches the re-verification to exit-aware flattening.
+	Precise bool `json:"precise,omitempty"`
+}
+
+// WatchDiff is the wire form of the daemon's generation diff: how the
+// pushed source differs from the session's previous resident
+// generation, at class granularity.
+type WatchDiff struct {
+	// Initial marks the session's first generation (everything Added).
+	Initial bool `json:"initial,omitempty"`
+
+	// Added, Removed, Changed, and Unchanged partition the union of the
+	// two generations' class names, each sorted.
+	Added     []string `json:"added,omitempty"`
+	Removed   []string `json:"removed,omitempty"`
+	Changed   []string `json:"changed,omitempty"`
+	Unchanged []string `json:"unchanged,omitempty"`
+
+	// ProtocolChanged lists the changed classes whose protocol surface
+	// moved — only these invalidate their dependents' cached results.
+	ProtocolChanged []string `json:"protocol_changed,omitempty"`
+
+	// ChangedMethods maps each changed class to the names of its edited
+	// or new operations.
+	ChangedMethods map[string][]string `json:"changed_methods,omitempty"`
+
+	// Invalidated is the predicted re-verification frontier: changed and
+	// added classes plus dependents of protocol-level changes.
+	Invalidated []string `json:"invalidated,omitempty"`
+}
+
+// WatchUpdate is one published re-check round of a watch session: the
+// 200 body of POST /v1/watch and of a successful long-poll
+// GET /v1/watch.
+type WatchUpdate struct {
+	ResponseMeta
+
+	// Session echoes the session name; Seq is the generation's position
+	// in the session (1 for the first push), strictly increasing.
+	// Long-pollers pass the last Seq they saw as ?after=.
+	Session string `json:"session"`
+	Seq     uint64 `json:"seq"`
+
+	// Fingerprint is the content fingerprint of this generation's
+	// source.
+	Fingerprint string `json:"fingerprint"`
+
+	// OK reports whether every class of the generation verified clean.
+	OK bool `json:"ok"`
+
+	// Reports are the per-class verification reports in source order —
+	// byte-identical to what a cold /v1/check of the same source yields,
+	// whether each class was re-verified or answered from the session
+	// cache.
+	Reports []*shelley.Report `json:"reports"`
+
+	// Diff is the generation diff against the previous push.
+	Diff WatchDiff `json:"diff"`
+
+	// ReusedReports counts classes answered from the session's warm
+	// cache; CheckedClasses counts classes actually re-verified. Their
+	// sum is the generation's class count.
+	ReusedReports  int `json:"reused_reports"`
+	CheckedClasses int `json:"checked_classes"`
+
+	// ElapsedMicros is the wall time of the whole round (parse, diff,
+	// re-check) in microseconds.
+	ElapsedMicros int64 `json:"elapsed_micros"`
+}
+
 // BatchItem is one unit of a /v1/check-batch or /v1/jobs request. It
 // carries the same fields as a CheckRequest: source text or a resident
 // fingerprint, an optional class filter, and the precise-mode flag.

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// WatchPush POSTs /v1/watch: push one source generation into a named
+// watch session and get its re-check round back. The daemon re-verifies
+// only what the edit invalidated; the returned update carries the full
+// report set (cached and fresh alike) plus the diff and reuse counters.
+// Retried under the client's retry policy like every POST.
+func (c *Client) WatchPush(ctx context.Context, req WatchRequest) (*WatchUpdate, error) {
+	var resp WatchUpdate
+	if err := c.post(ctx, "/v1/watch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Watch long-polls GET /v1/watch for the next re-check round of a
+// session with Seq > after: it blocks until an editor pushes a new
+// generation, the daemon's poll window lapses (nil update, nil error —
+// poll again with the same after), or the daemon starts draining
+// (503 APIError). Pass the last update's Seq as after (0 for "any
+// generation"); a slow poller skips straight to the latest round, it is
+// never fed stale generations one by one.
+func (c *Client) Watch(ctx context.Context, session string, after uint64) (*WatchUpdate, error) {
+	q := url.Values{}
+	q.Set("session", session)
+	q.Set("after", strconv.FormatUint(after, 10))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/watch?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setHeaders(httpReq)
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case httpResp.StatusCode == http.StatusNoContent:
+		return nil, nil
+	case httpResp.StatusCode/100 != 2:
+		return nil, apiError(httpResp, raw)
+	}
+	var upd WatchUpdate
+	if err := json.Unmarshal(raw, &upd); err != nil {
+		return nil, fmt.Errorf("client: decoding /v1/watch response: %w", err)
+	}
+	if id := httpResp.Header.Get("X-Shelley-Trace"); id != "" {
+		upd.setTraceID(id)
+	}
+	return &upd, nil
+}

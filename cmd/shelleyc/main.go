@@ -7,12 +7,19 @@
 //
 //	shelleyc [-class NAME] [-quiet] [-trace out.json] FILE.py [FILE.py ...]
 //	shelleyc -server http://HOST:PORT [-batch] FILE.py [FILE.py ...]
+//	shelleyc -incremental [-poll D] [-rounds N] FILE.py
 //
 // With -server the files are verified by a running shelleyd instead of
 // in-process; each file is checked as its own module. Adding -batch
 // folds every file into one /v1/check-batch request and prints results
 // as the daemon streams them back — the fast path for large file sets
 // against a warm daemon.
+//
+// With -incremental, shelleyc watches one file and re-verifies each
+// save against the previous generation through a long-lived session:
+// only classes the edit invalidates re-run, everything else is answered
+// from the warm pipeline cache, and each round prints what changed,
+// what re-verified, and what was reused.
 //
 // The exit status is 0 when every checked class verifies, 1 when any
 // diagnostic is reported, and 2 on usage or load errors.
@@ -27,7 +34,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	shelley "github.com/shelley-go/shelley"
 	"github.com/shelley-go/shelley/client"
@@ -72,6 +82,9 @@ func run(args []string, out io.Writer) (code int, err error) {
 	maxRegex := fs.Int("max-regex", 0, "bound regex size per construction (0 = unlimited)")
 	serverURL := fs.String("server", "", "verify via a running shelleyd at this base URL instead of in-process")
 	batch := fs.Bool("batch", false, "with -server: send every file in one /v1/check-batch stream")
+	incremental := fs.Bool("incremental", false, "watch one file and incrementally re-verify on change (only edited methods' dependents re-run)")
+	pollEvery := fs.Duration("poll", 200*time.Millisecond, "with -incremental: file modification poll period")
+	rounds := fs.Int("rounds", 0, "with -incremental: exit after N re-check rounds (0 = run until interrupted)")
 	var tr obs.CLIFlags
 	tr.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +101,22 @@ func run(args []string, out io.Writer) (code int, err error) {
 	}
 	if *batch {
 		return 2, fmt.Errorf("-batch requires -server (in-process verification has no batch wire)")
+	}
+	if *incremental {
+		if *emitNuSMV || *jsonOut || *explain || *violations > 0 || *className != "" {
+			return 2, fmt.Errorf("-incremental re-verifies whole files on change; drop -nusmv/-json/-explain/-violations/-class")
+		}
+		if fs.NArg() != 1 {
+			return 2, fmt.Errorf("-incremental watches exactly one file")
+		}
+		var checkOpts []check.Option
+		if *precise {
+			checkOpts = append(checkOpts, check.Precise())
+		}
+		ctx := withBudgetFlags(context.Background(), *maxStates, *maxRegex)
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, syscall.SIGTERM, os.Interrupt)
+		return runIncremental(ctx, out, fs.Arg(0), checkOpts, *quiet, *stats, *pollEvery, *rounds, stop)
 	}
 	ctx := tr.Context(context.Background())
 	ctx = withBudgetFlags(ctx, *maxStates, *maxRegex)
@@ -184,6 +213,94 @@ func run(args []string, out io.Writer) (code int, err error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// runIncremental is the edit-loop mode: one long-lived shelley.Session
+// watches a single file, re-checking each saved generation against the
+// previous one. Unchanged methods' inferred behaviors, unchanged
+// protocols' automata, and unchanged classes' whole reports are reused
+// from the session cache, so each round's cost tracks the size of the
+// edit, not the size of the file. A save that fails to parse is
+// reported and skipped — the session keeps its last good generation and
+// the watch continues. The exit status reflects the last completed
+// round (0 clean, 1 findings); stop delivers SIGINT/SIGTERM.
+func runIncremental(ctx context.Context, out io.Writer, path string, checkOpts []check.Option, quiet, stats bool, pollEvery time.Duration, rounds int, stop <-chan os.Signal) (int, error) {
+	sess := shelley.NewSession()
+	code := 0
+	round := 0
+	var lastMod time.Time
+	var lastSize int64
+	for {
+		st, err := os.Stat(path)
+		if err != nil {
+			return 2, err
+		}
+		if round == 0 || !st.ModTime().Equal(lastMod) || st.Size() != lastSize {
+			lastMod, lastSize = st.ModTime(), st.Size()
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return 2, err
+			}
+			res, rerr := sess.Recheck(ctx, path, src, checkOpts...)
+			if rerr != nil {
+				// A half-saved or broken file must not kill the loop: the
+				// previous generation stays resident and the next save
+				// gets another chance.
+				fmt.Fprintf(out, "%s: %v (watch continues)\n", path, rerr)
+			} else {
+				round++
+				code = printRound(out, round, res, quiet, stats)
+			}
+		}
+		if rounds > 0 && round >= rounds {
+			return code, nil
+		}
+		select {
+		case <-stop:
+			return code, nil
+		case <-time.After(pollEvery):
+		}
+	}
+}
+
+// printRound renders one incremental round: failing class reports, a
+// one-line summary of what the edit invalidated and what was reused,
+// and (with -stats) the round's pipeline-stage delta.
+func printRound(out io.Writer, round int, res *shelley.RecheckResult, quiet, stats bool) int {
+	code := 0
+	for _, rep := range res.Reports {
+		if rep.OK() {
+			if !quiet {
+				fmt.Fprintf(out, "class %s: OK\n", rep.Class)
+			}
+			continue
+		}
+		code = 1
+		fmt.Fprintf(out, "class %s:\n%s\n", rep.Class, rep)
+	}
+	summary := "no observable change"
+	switch d := res.Diff; {
+	case d.Initial:
+		summary = "initial load"
+	case !d.Clean():
+		parts := make([]string, 0, 3)
+		if len(d.Changed) > 0 {
+			parts = append(parts, "changed "+strings.Join(d.Changed, ","))
+		}
+		if len(d.Added) > 0 {
+			parts = append(parts, "added "+strings.Join(d.Added, ","))
+		}
+		if len(d.Removed) > 0 {
+			parts = append(parts, "removed "+strings.Join(d.Removed, ","))
+		}
+		summary = strings.Join(parts, "; ")
+	}
+	fmt.Fprintf(out, "recheck #%d: %s — %d re-verified, %d reused, %s\n",
+		round, summary, res.CheckedClasses, res.ReusedReports, res.Elapsed.Round(time.Microsecond))
+	if stats {
+		fmt.Fprint(out, res.Stats)
+	}
+	return code
 }
 
 // runRemote verifies the files against a running shelleyd: one

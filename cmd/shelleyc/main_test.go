@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/shelley-go/shelley/internal/server"
 )
@@ -267,4 +269,87 @@ func TestRunRemoteBatch(t *testing.T) {
 	if code, _ := run([]string{"-server", url, "-nusmv", valve}, &out); code != 2 {
 		t.Errorf("-server -nusmv: code %d, want 2", code)
 	}
+}
+
+// TestIncrementalWatchLoop drives -incremental end to end: an initial
+// load, then an edit of one class, asserting the second round
+// re-verifies only the edited class and reuses the other's report.
+func TestIncrementalWatchLoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mod.py")
+	src := func(op string) string {
+		return `@sys
+class Dev:
+    @op_initial_final
+    def op0(self):
+        return ["op0", "op1"]
+
+    @op_initial_final
+    def op1(self):
+        return []
+
+@sys(["d"])
+class Ctl:
+    def __init__(self):
+        self.d = Dev()
+
+    @op_initial_final
+    def go(self):
+        self.d.` + op + `()
+        return []
+`
+	}
+	if err := os.WriteFile(path, []byte(src("op0")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit the file as soon as the first round's summary appears, so
+	// the loop observes a mid-watch save.
+	var out syncBuilder
+	go func() {
+		for !strings.Contains(out.String(), "recheck #1") {
+			time.Sleep(time.Millisecond)
+		}
+		if err := os.WriteFile(path, []byte(src("op1")), 0o644); err != nil {
+			t.Error(err)
+		}
+		now := time.Now().Add(time.Second)
+		if err := os.Chtimes(path, now, now); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	code, err := run([]string{"-incremental", "-poll", "5ms", "-rounds", "2", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "recheck #1: initial load — 2 re-verified, 0 reused") {
+		t.Fatalf("first round summary missing:\n%s", text)
+	}
+	if !strings.Contains(text, "recheck #2: changed Ctl — 1 re-verified, 1 reused") {
+		t.Fatalf("second round did not reuse the untouched class:\n%s", text)
+	}
+}
+
+// syncBuilder is a strings.Builder safe for the cross-goroutine
+// read-while-writing pattern of the incremental test.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

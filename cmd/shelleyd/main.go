@@ -22,12 +22,13 @@
 // per-batch latency percentiles.
 //
 // Endpoints: POST /v1/check, /v1/check-batch, /v1/jobs, /v1/infer,
-// /v1/trace, /v1/ingest (-mine); GET /v1/jobs/{id}, /v1/drift (-mine),
-// /v1/status (live telemetry: rolling rates/percentiles, SLO burn
-// alerts, exemplar traces; ?format=html for a dashboard), /healthz,
-// /metrics. See docs/TUTORIAL.md §9 and §12 for a curl quickstart,
-// §14 for model mining and drift detection, §15 for operating the
-// telemetry surface and shelleytop.
+// /v1/trace, /v1/ingest (-mine), /v1/watch (-watch); GET /v1/jobs/{id},
+// /v1/drift (-mine), /v1/watch (-watch, long-poll), /v1/status (live
+// telemetry: rolling rates/percentiles, SLO burn alerts, exemplar
+// traces; ?format=html for a dashboard), /healthz, /metrics. See
+// docs/TUTORIAL.md §9 and §12 for a curl quickstart, §14 for model
+// mining and drift detection, §15 for operating the telemetry surface
+// and shelleytop, §16 for watch mode and incremental re-verification.
 package main
 
 import (
@@ -118,6 +119,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	storeDir := fs.String("store-dir", "", "durable artifact store directory for warm restarts (empty = persistence off)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "artifact store byte bound, LRU-evicted (0 = unbounded)")
 	mineOn := fs.Bool("mine", false, "enable trace ingestion (POST /v1/ingest) and background model mining with drift detection (GET /v1/drift)")
+	watchOn := fs.Bool("watch", false, "enable incremental watch sessions (POST/GET /v1/watch) for edit loops")
+	maxWatchSessions := fs.Int("max-watch-sessions", 0, "resident watch-session bound, LRU-evicted (0 = 64)")
+	watchPollTimeout := fs.Duration("watch-poll-timeout", 0, "GET /v1/watch long-poll window before a 204 (0 = 25s)")
 	mineInterval := fs.Duration("mine-interval", 0, "mining-loop period (0 = 5s)")
 	telemetryInterval := fs.Duration("telemetry-interval", time.Second, "telemetry snapshot period behind GET /v1/status (0 disables telemetry)")
 	var slos sloFlags
@@ -130,15 +134,18 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) (int, error) {
 	}
 
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		CheckWorkers:   *checkWorkers,
-		MaxModules:     *maxModules,
-		Tracing:        *traceFile != "" || *traceRing > 0,
-		TraceRingSize:  *traceRing,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *timeout,
+		CheckWorkers:      *checkWorkers,
+		MaxModules:        *maxModules,
+		Tracing:           *traceFile != "" || *traceRing > 0,
+		TraceRingSize:     *traceRing,
 		Mine:              *mineOn,
 		MineInterval:      *mineInterval,
+		Watch:             *watchOn,
+		MaxWatchSessions:  *maxWatchSessions,
+		WatchPollTimeout:  *watchPollTimeout,
 		Telemetry:         *telemetryInterval > 0,
 		TelemetryInterval: *telemetryInterval,
 		SLOs:              slos,
@@ -444,7 +451,7 @@ func runSelfcheckBatch(out io.Writer, cfg server.Config, corpusDir string, clien
 		return 2, err
 	}
 	ctx := context.Background()
-	if err := client.New("http://" + bound).WaitReady(ctx, 5*time.Second); err != nil {
+	if err := client.New("http://"+bound).WaitReady(ctx, 5*time.Second); err != nil {
 		return 2, err
 	}
 

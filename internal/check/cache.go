@@ -27,10 +27,12 @@ func WithCache(cache *pipeline.Cache) Option {
 // analysis of c reads: the class's own fingerprint, the analysis mode,
 // the given resource budget (a budget-exceeded report is cached
 // deterministically for its budget; a retry with a larger budget is a
-// different key and can succeed), and the fingerprint of every resolved
-// subsystem class (checkUsage and checkClaims depend on the subsystems'
-// protocols, but nothing deeper — a subsystem's own subsystems never
-// enter the analysis of c). Callers pass the projection of the
+// different key and can succeed), and the protocol fingerprint of every
+// resolved subsystem class (checkUsage and checkClaims depend on the
+// subsystems' protocols, but nothing deeper — not their bodies, and a
+// subsystem's own subsystems never enter the analysis of c; keying by
+// the protocol projection means a body-only subsystem edit leaves every
+// dependent's cached report valid). Callers pass the projection of the
 // context's limits onto the resources their stage consumes: the report
 // stage passes them whole (its searches gate every limit), the flatten
 // stage passes flattenLimits so automata don't fragment on search
@@ -54,7 +56,7 @@ func classKey(cfg config, c *model.Class, reg Registry, limits budget.Limits) (s
 		b.WriteString("|")
 		b.WriteString(name)
 		b.WriteString("=")
-		b.WriteString(sub.Fingerprint())
+		b.WriteString(sub.ProtocolFingerprint())
 	}
 	return b.String(), true
 }
@@ -101,10 +103,14 @@ func PeekReport(ctx context.Context, c *model.Class, reg Registry, opts ...Optio
 }
 
 // specDFA returns the class's protocol automaton, memoized under
-// StageSpec. Cached automata are shared read-only.
+// StageSpec. Cached automata are shared read-only. The key is the
+// protocol fingerprint — SpecDFA reads nothing but the protocol
+// surface, so a body-only edit re-uses the cached automaton. Must stay
+// consistent with Class.specDFA in the root package (same stage, same
+// key scheme, shared entries).
 func (cfg config) specDFA(c *model.Class, prefix string) (*automata.DFA, error) {
 	return pipeline.MemoCtx(cfg.ctx, cfg.cache, pipeline.StageSpec,
-		pipeline.SpecKey(c.Fingerprint(), prefix),
+		pipeline.SpecKey(c.ProtocolFingerprint(), prefix),
 		func(context.Context) (*automata.DFA, error) { return c.SpecDFA(prefix) })
 }
 

@@ -169,6 +169,57 @@ func (g *Graph) ReachableFrom(methods []string) []string {
 	return out
 }
 
+// ClassGraph is the class-level companion of the method graph, used by
+// incremental re-verification to propagate invalidation between module
+// generations: an arc runs from every composite class to each class it
+// declares as a subsystem, so the reverse closure of a changed class is
+// exactly the set of classes whose analysis could observe the change.
+// Propagation is driven by protocol fingerprints (model.Class
+// .ProtocolFingerprint): a dependent's analysis reads nothing deeper
+// than a subsystem's protocol surface, so only protocol-level changes
+// need to travel these arcs at all.
+type ClassGraph struct {
+	dependents map[string][]string // class -> classes that declare it as a subsystem
+}
+
+// BuildClasses constructs the class graph from the uses relation:
+// uses[c] lists the class names c declares as subsystems (duplicates
+// are fine; unknown names are kept, so a dependent of a class that was
+// removed from the module is still reachable from the removed name).
+func BuildClasses(uses map[string][]string) *ClassGraph {
+	g := &ClassGraph{dependents: make(map[string][]string, len(uses))}
+	for c, subs := range uses {
+		for _, sub := range subs {
+			g.dependents[sub] = append(g.dependents[sub], c)
+		}
+	}
+	return g
+}
+
+// Dependents returns every class whose analysis could observe a change
+// to any of the given classes: the given classes themselves plus all
+// transitive reverse-dependents, sorted. It is the invalidation
+// frontier of a protocol-level edit.
+func (g *ClassGraph) Dependents(changed []string) []string {
+	seen := make(map[string]struct{}, len(changed))
+	stack := append([]string(nil), changed...)
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := seen[c]; ok {
+			continue
+		}
+		seen[c] = struct{}{}
+		stack = append(stack, g.dependents[c]...)
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Edge is a directed arc, used by renderers.
 type Edge struct{ From, To int }
 

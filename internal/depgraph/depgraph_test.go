@@ -172,3 +172,44 @@ func TestBuildErrors(t *testing.T) {
 		t.Error("expected duplicate-method error")
 	}
 }
+
+// TestClassGraphDependents pins the invalidation frontier of the
+// class-level reverse dependency graph: seeds are always included,
+// reverse arcs are followed transitively, diamonds dedupe, and names
+// absent from the use map (removed classes) still seed their
+// dependents.
+func TestClassGraphDependents(t *testing.T) {
+	uses := map[string][]string{
+		"App":  {"CtlA", "CtlB"},
+		"CtlA": {"Dev"},
+		"CtlB": {"Dev"},
+		"Aux":  {"Timer"},
+	}
+	g := BuildClasses(uses)
+
+	cases := []struct {
+		changed []string
+		want    []string
+	}{
+		// Leaf change propagates through the diamond to the root once.
+		{[]string{"Dev"}, []string{"App", "CtlA", "CtlB", "Dev"}},
+		// Mid-level change reaches only its own dependents.
+		{[]string{"CtlA"}, []string{"App", "CtlA"}},
+		// A root has no dependents: frontier is itself.
+		{[]string{"App"}, []string{"App"}},
+		// Unknown (removed) class still invalidates nothing but itself.
+		{[]string{"Gone"}, []string{"Gone"}},
+		// A class only referenced, never defined as a user, seeds its
+		// dependents too.
+		{[]string{"Timer"}, []string{"Aux", "Timer"}},
+		// Multiple seeds union.
+		{[]string{"CtlB", "Timer"}, []string{"App", "Aux", "CtlB", "Timer"}},
+		{nil, []string{}},
+	}
+	for _, tc := range cases {
+		got := g.Dependents(tc.changed)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Dependents(%v) = %v, want %v", tc.changed, got, tc.want)
+		}
+	}
+}

@@ -27,6 +27,67 @@ func (c *Class) Fingerprint() string {
 	return c.fp
 }
 
+// ProtocolFingerprint returns a stable 128-bit content key of the
+// class's externally observable protocol surface — exactly what the
+// analysis of a dependent composite reads from this class when it is
+// used as a subsystem: the class name (diagnostics print it), the
+// operations in source order with their initial/final modifiers (the
+// protocol automaton is built from them), and per operation the exit
+// points' ordered continuation lists (exhaustiveness checking compares
+// match cases against them and prints them verbatim).
+//
+// Method bodies, helpers, claims, match sites, and source positions are
+// deliberately excluded: none of them can influence a dependent's
+// verification, so an edit confined to them leaves this key — and every
+// dependent's cached artifacts — untouched. That projection is what
+// turns the fingerprint machinery into an invalidation engine: a
+// body-only edit to a subsystem re-verifies the subsystem alone, while
+// a protocol edit propagates to its dependents (see depgraph.ClassGraph
+// and the root package's Session).
+func (c *Class) ProtocolFingerprint() string {
+	c.protoOnce.Do(func() { c.protoFP = fingerprintProtocol(c) })
+	return c.protoFP
+}
+
+// Fingerprint returns a stable 128-bit content key of one operation:
+// its name, modifiers, and lowered method (body, exits, match sites).
+// It is the method-granularity unit of the diff the root package's
+// Session computes between module generations.
+func (op *Operation) Fingerprint() string {
+	op.fpOnce.Do(func() {
+		h := sha256.New()
+		w := fpWriter{h: h}
+		fingerprintOperation(w, op)
+		sum := h.Sum(nil)
+		op.fp = hex.EncodeToString(sum[:16])
+	})
+	return op.fp
+}
+
+func fingerprintProtocol(c *Class) string {
+	h := sha256.New()
+	w := fpWriter{h: h}
+	w.str(c.Name)
+	w.flag(c.IsSys)
+	w.num(len(c.Operations))
+	for _, op := range c.Operations {
+		w.tag('O')
+		w.str(op.Name)
+		w.flag(op.Initial)
+		w.flag(op.Final)
+		w.num(len(op.Method.Exits))
+		for _, e := range op.Method.Exits {
+			w.tag('E')
+			w.num(len(e.Next))
+			for _, next := range e.Next {
+				w.str(next)
+			}
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
 // fpWriter hashes strings, bools, and counts with length prefixes so
 // the byte stream stays injective (no two distinct classes serialize
 // identically).

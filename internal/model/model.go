@@ -45,6 +45,11 @@ type Operation struct {
 
 	// Method is the lowered body.
 	Method *lower.Method
+
+	// fp memoizes Fingerprint; operations are immutable after FromAST,
+	// so the per-method content hash is computed at most once.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Behavior returns the operation's inferred behavior over subsystem
@@ -93,6 +98,11 @@ type Class struct {
 	// lazy computation race-free under CheckAllConcurrent).
 	fpOnce sync.Once
 	fp     string
+
+	// protoFP memoizes ProtocolFingerprint, the projection of fp onto
+	// the protocol surface dependents can observe.
+	protoOnce sync.Once
+	protoFP   string
 }
 
 // Operation returns the operation with the given name, or nil.

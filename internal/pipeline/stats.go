@@ -143,6 +143,41 @@ func (s Stats) Of(stage Stage) StageStats {
 	return s.Stages[stage]
 }
 
+// Sub returns the per-stage difference s − prev: the activity that
+// happened between two snapshots of the same cache. Incremental
+// re-verification uses it to pin exactly which stages re-executed for
+// one edit (hits = artifacts reused, misses = builds actually run).
+// Counters are clamped at zero so a snapshot pair from different caches
+// degrades to zeros instead of wrapping.
+func (s Stats) Sub(prev Stats) Stats {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	out := Stats{Stages: make([]StageStats, len(s.Stages))}
+	for i, st := range s.Stages {
+		d := st
+		if i < len(prev.Stages) {
+			p := prev.Stages[i]
+			d.Hits = sub(st.Hits, p.Hits)
+			d.Misses = sub(st.Misses, p.Misses)
+			d.Entries = sub(st.Entries, p.Entries)
+			d.PersistHits = sub(st.PersistHits, p.PersistHits)
+			d.BuildTime = st.BuildTime - p.BuildTime
+			if d.BuildTime < 0 {
+				d.BuildTime = 0
+			}
+			for b := range d.Buckets {
+				d.Buckets[b] = sub(st.Buckets[b], p.Buckets[b])
+			}
+		}
+		out.Stages[i] = d
+	}
+	return out
+}
+
 // TotalHits sums hits over every stage.
 func (s Stats) TotalHits() uint64 {
 	var n uint64

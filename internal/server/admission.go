@@ -55,11 +55,22 @@ func newAdmission(maxClient, maxTotal int, rejected *atomic.Uint64, inflightGaug
 
 // admit charges n items to key. On success it returns release (call
 // exactly once, after the batch's last record) and status 0. On
-// refusal it returns the status to answer (429 per-client, 503
-// global) and a jittered Retry-After hint in seconds.
+// refusal it returns the status to answer — 429 per-client or 503
+// global, each with a jittered Retry-After hint in seconds, or a
+// terminal 413 (retryAfter 0, no hint) for a charge that could never
+// be admitted no matter how long the client waits.
 func (a *admission) admit(key string, n int) (release func(), status, retryAfter int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// A charge larger than the whole global window (or the per-client
+	// share, which every admission must also fit inside) is never
+	// admissible: the windows are empty at their largest, so a retryable
+	// refusal with a Retry-After would send a compliant client into a
+	// loop that cannot succeed. Answer terminally instead.
+	if n > a.maxTotal || n > a.maxClient {
+		a.rejected.Add(1)
+		return nil, http.StatusRequestEntityTooLarge, 0
+	}
 	if a.total+n > a.maxTotal {
 		a.rejected.Add(1)
 		return nil, http.StatusServiceUnavailable, a.backoffLocked(2)

@@ -42,10 +42,17 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) int {
 	}
 	release, status, retryAfter := s.adm.admit(clientKey(r), len(req.Items))
 	if status != 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		msg := "per-client batch share exhausted; retry after backoff"
-		if status == http.StatusServiceUnavailable {
+		switch status {
+		case http.StatusServiceUnavailable:
 			msg = "batch window saturated; retry after backoff"
+		case http.StatusRequestEntityTooLarge:
+			// Never admissible at any load: no Retry-After — retrying
+			// cannot succeed. Oversized batches belong in /v1/jobs.
+			msg = fmt.Sprintf("batch of %d items exceeds the admission window and can never be admitted; submit it as an async job via POST /v1/jobs", len(req.Items))
+		}
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		}
 		return s.writeError(w, status, msg)
 	}

@@ -69,10 +69,10 @@ func TestBudgetExceededAnswers422(t *testing.T) {
 	if v, ok := client.ParseMetric(metrics, "shelleyd_budget_exceeded_total"); !ok || v == 0 {
 		t.Fatalf("shelleyd_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
 	}
-	// The pre-rename family is kept as a deprecated alias for one
-	// release; pin it so removing it is a deliberate act.
-	if v, ok := client.ParseMetric(metrics, "shelley_budget_exceeded_total"); !ok || v == 0 {
-		t.Fatalf("deprecated alias shelley_budget_exceeded_total = %v (present=%v), want > 0", v, ok)
+	// The pre-rename shelley_* alias finished its one-release
+	// deprecation window and must stay gone.
+	if _, ok := client.ParseMetric(metrics, "shelley_budget_exceeded_total"); ok {
+		t.Fatal("removed alias shelley_budget_exceeded_total is still exported")
 	}
 }
 

@@ -179,10 +179,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) int {
 	charge := min(len(req.Items), s.cfg.BatchWindow, s.cfg.MaxClientItems, s.cfg.MaxBatchInflight)
 	release, status, retryAfter := s.adm.admit(clientKey(r), charge)
 	if status != 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		msg := "per-client batch share exhausted; retry after backoff"
-		if status == http.StatusServiceUnavailable {
+		switch status {
+		case http.StatusServiceUnavailable:
 			msg = "batch window saturated; retry after backoff"
+		case http.StatusRequestEntityTooLarge:
+			// Unreachable under withDefaults (the charge is capped to the
+			// admission windows above), but a hand-rolled Config could
+			// shrink the windows below BatchWindow — answer terminally
+			// rather than loop a compliant retrying client.
+			msg = fmt.Sprintf("job charge of %d exceeds the admission window and can never be admitted; split the job", charge)
+		}
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		}
 		return s.writeError(w, status, msg)
 	}

@@ -161,6 +161,23 @@ type metrics struct {
 	// exemplars counts requests tail-sampled into the telemetry
 	// exemplar ring (latency breach, error, or panic).
 	exemplars atomic.Uint64
+
+	// watchUpdates counts published watch rounds (successful
+	// POST /v1/watch pushes); watchPushes counts long-poll deliveries
+	// (one per poller woken with a round); watchEvicted counts sessions
+	// dropped LRU to respect MaxWatchSessions; watchSessions is the
+	// live session gauge.
+	watchUpdates  atomic.Uint64
+	watchPushes   atomic.Uint64
+	watchEvicted  atomic.Uint64
+	watchSessions atomic.Int64
+
+	// incrementalReused counts classes answered from a watch session's
+	// warm cache across all rounds; incrementalChecked counts classes
+	// actually re-verified. Their ratio is the edit loop's live reuse
+	// rate.
+	incrementalReused  atomic.Uint64
+	incrementalChecked atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -290,11 +307,6 @@ func (m *metrics) families(ps pipeline.Stats, st *store.Store, ms *mineSnapshot)
 	counter("shelleyd_saturated_total", "Submissions rejected with 503 (queue full or draining).", m.saturated.Load())
 	counter("shelleyd_panics_total", "Verification panics contained at the worker boundary (answered 500).", m.panics.Load())
 	counter("shelleyd_budget_exceeded_total", "Requests answered with a structured resource-budget error.", m.budgetExceeded.Load())
-	// Deprecated aliases: these two families shipped without the
-	// shelleyd_ prefix every other daemon family uses. Kept for one
-	// release so existing scrape configs keep working; remove next.
-	counter("shelley_panics_total", "DEPRECATED alias of shelleyd_panics_total; will be removed next release.", m.panics.Load())
-	counter("shelley_budget_exceeded_total", "DEPRECATED alias of shelleyd_budget_exceeded_total; will be removed next release.", m.budgetExceeded.Load())
 	counter("shelleyd_batch_items_total", "Batch items admitted across /v1/check-batch streams and async jobs.", m.batchItems.Load())
 	counter("shelleyd_batch_item_errors_total", "Batch items that finished with a non-200 record.", m.batchItemErrors.Load())
 	counter("shelleyd_batch_admission_rejected_total", "Whole batches refused by admission control (429/503 with Retry-After).", m.batchRejected.Load())
@@ -304,6 +316,12 @@ func (m *metrics) families(ps pipeline.Stats, st *store.Store, ms *mineSnapshot)
 	counter("shelleyd_jobs_total", "Async verification jobs accepted via POST /v1/jobs.", m.jobsSubmitted.Load())
 	counter("shelleyd_response_write_errors_total", "Response writes that failed after the status was committed (client gone).", m.writeErrors.Load())
 	counter("shelleyd_exemplars_total", "Requests tail-sampled into the telemetry exemplar ring.", m.exemplars.Load())
+	counter("shelleyd_watch_updates_total", "Published watch rounds (successful POST /v1/watch pushes).", m.watchUpdates.Load())
+	counter("shelleyd_watch_pushes_total", "Watch rounds delivered to long-pollers (GET /v1/watch).", m.watchPushes.Load())
+	counter("shelleyd_watch_sessions_evicted_total", "Watch sessions evicted (LRU) to respect MaxWatchSessions.", m.watchEvicted.Load())
+	counter("shelleyd_incremental_reports_reused_total", "Classes answered from a watch session's warm cache instead of re-verifying.", m.incrementalReused.Load())
+	counter("shelleyd_incremental_classes_checked_total", "Classes actually re-verified across watch rounds.", m.incrementalChecked.Load())
+	gauge("shelleyd_watch_sessions", "Resident watch sessions.", m.watchSessions.Load())
 	gauge("shelleyd_batch_inflight_items", "Admission charge held (sync batches by item count, jobs by pool occupancy).", m.batchInflightItems.Load())
 	gauge("shelleyd_jobs_active", "Async jobs still running.", m.jobsActive.Load())
 	gauge("shelleyd_queue_depth", "Jobs waiting for a worker.", m.queueDepth.Load())

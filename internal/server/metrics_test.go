@@ -16,8 +16,8 @@ import (
 // goldenMetrics builds a registry with a deterministic, hand-placed set
 // of observations covering every labeled family shape: multiple
 // endpoints, multiple status codes, latencies spanning several coarse
-// buckets plus the +Inf overflow, scalar counters, gauges, the
-// deprecated alias pair, pipeline stages, and the mine families.
+// buckets plus the +Inf overflow, scalar counters, gauges, pipeline
+// stages, and the mine families.
 func goldenMetrics() (*metrics, pipeline.Stats, *mineSnapshot) {
 	m := newMetrics()
 
@@ -136,11 +136,11 @@ func TestMetricsPromlint(t *testing.T) {
 		if !metricNameRe.MatchString(f.name) {
 			t.Errorf("family %s: invalid metric name", f.name)
 		}
-		if !strings.HasPrefix(f.name, "shelleyd_") && !strings.HasPrefix(f.name, "shelley_") {
+		if !strings.HasPrefix(f.name, "shelleyd_") {
+			// The un-prefixed shelley_* aliases were removed after their
+			// one-release deprecation window; every family carries the
+			// daemon namespace now.
 			t.Errorf("family %s: missing shelleyd_ namespace prefix", f.name)
-		}
-		if strings.HasPrefix(f.name, "shelley_") && !strings.Contains(f.help, "DEPRECATED") {
-			t.Errorf("family %s: un-namespaced name without a DEPRECATED marker", f.name)
 		}
 		if f.help == "" {
 			t.Errorf("family %s: empty HELP", f.name)

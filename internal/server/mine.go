@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -42,10 +43,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) int {
 	}
 	release, status, retryAfter := s.ingestAdm.admit(clientKey(r), charge)
 	if status != 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		msg := "per-client ingest share exhausted; retry after backoff"
-		if status == http.StatusServiceUnavailable {
+		switch status {
+		case http.StatusServiceUnavailable:
 			msg = "ingest window saturated; retry after backoff"
+		case http.StatusRequestEntityTooLarge:
+			msg = fmt.Sprintf("ingest frame charge of %d events exceeds the admission window and can never be admitted; split the frame", charge)
+		}
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		}
 		return s.writeError(w, status, msg)
 	}

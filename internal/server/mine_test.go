@@ -203,10 +203,12 @@ func TestDriftFlaggedWithinOneInterval(t *testing.T) {
 }
 
 // TestIngestShedsNeverBlocks pins the overload contract from both
-// directions: a frame over the client's admission share is refused
-// whole with 429 + Retry-After (nothing ingested, nothing blocked), and
-// corpus overflow under a tiny bound sheds observations while the
-// request still answers 200 immediately.
+// directions: a frame larger than the client's whole admission share —
+// inadmissible even against an idle window, so retrying could never
+// succeed — is refused whole with a terminal 413 and no Retry-After
+// (nothing ingested, nothing blocked), and corpus overflow under a
+// tiny bound sheds observations while the request still answers 200
+// immediately.
 func TestIngestShedsNeverBlocks(t *testing.T) {
 	t.Parallel()
 	_, cl := startServer(t, Config{
@@ -218,7 +220,8 @@ func TestIngestShedsNeverBlocks(t *testing.T) {
 	})
 	ctx := context.Background()
 
-	// 5 observations × 3 events = charge 15 > 8: whole-frame 429.
+	// 5 observations × 3 events = charge 15 > the whole share of 8:
+	// never admissible, whole-frame terminal 413.
 	var big []client.IngestEvent
 	for i := 0; i < 5; i++ {
 		big = append(big, client.IngestEvent{ClassFP: "fp/V", Events: []string{"a", "b", "c"}})
@@ -226,11 +229,11 @@ func TestIngestShedsNeverBlocks(t *testing.T) {
 	start := time.Now()
 	_, err := cl.Ingest(ctx, big)
 	apiErr, ok := err.(*client.APIError)
-	if !ok || apiErr.StatusCode != 429 {
-		t.Fatalf("overload frame: %v, want 429", err)
+	if !ok || apiErr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("never-admissible frame: %v, want 413", err)
 	}
-	if apiErr.RetryAfter < time.Second {
-		t.Fatalf("429 Retry-After = %v, want >= 1s", apiErr.RetryAfter)
+	if apiErr.RetryAfter != 0 || apiErr.Temporary() {
+		t.Fatalf("413 RetryAfter=%v Temporary=%v; a terminal refusal must not invite retries", apiErr.RetryAfter, apiErr.Temporary())
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("refusal took %v; ingest must shed, not block", elapsed)

@@ -182,6 +182,23 @@ type Config struct {
 	// client (503 beyond). 0 means 4×MaxClientEvents.
 	MaxIngestInflight int
 
+	// Watch enables incremental re-verification sessions for edit
+	// loops: POST /v1/watch pushes a source generation into a named
+	// session (diffed at method granularity against the previous push,
+	// only invalidated classes re-verified), GET /v1/watch long-polls
+	// the session's next round. Off by default — the endpoints answer
+	// 404.
+	Watch bool
+
+	// MaxWatchSessions bounds resident watch sessions; past it the
+	// least-recently-used session is evicted (its pollers wake with
+	// 404). 0 means 64.
+	MaxWatchSessions int
+
+	// WatchPollTimeout bounds one GET /v1/watch long-poll; a lapsed
+	// poll answers 204 and the client re-polls. 0 means 25s.
+	WatchPollTimeout time.Duration
+
 	// Telemetry enables the in-process time-series engine: the metric
 	// registry is snapshotted every TelemetryInterval into rolling
 	// rings, SLOs are evaluated with burn-rate alerts, interesting
@@ -278,6 +295,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxIngestInflight <= 0 {
 		c.MaxIngestInflight = 4 * c.MaxClientEvents
 	}
+	if c.MaxWatchSessions <= 0 {
+		c.MaxWatchSessions = 64
+	}
+	if c.WatchPollTimeout <= 0 {
+		c.WatchPollTimeout = 25 * time.Second
+	}
 	if c.TelemetryInterval <= 0 {
 		c.TelemetryInterval = time.Second
 	}
@@ -330,6 +353,16 @@ type Server struct {
 	mineDone     chan struct{}
 	mineStopOnce sync.Once
 
+	// watch is non-nil iff Config.Watch. watchStop is closed at the
+	// start of Shutdown so parked long-pollers answer 503 immediately
+	// instead of stalling the HTTP drain for a poll window;
+	// watchKeySeq uniquifies push launch keys (watch rounds are
+	// stateful and must never coalesce).
+	watch         *watchStore
+	watchStop     chan struct{}
+	watchStopOnce sync.Once
+	watchKeySeq   atomic.Uint64
+
 	// tracer is non-nil when Config.Tracing or Config.Telemetry (the
 	// exemplar span trees need spans); ring only with Tracing; logger
 	// is Config.Logger verbatim (nil = quiet).
@@ -374,6 +407,10 @@ func New(cfg Config) *Server {
 		store:      cfg.Store,
 		poolClosed: make(chan struct{}),
 		logger:     cfg.Logger,
+		watchStop:  make(chan struct{}),
+	}
+	if cfg.Watch {
+		s.watch = newWatchStore(cfg.MaxWatchSessions, &met.watchEvicted, &met.watchSessions)
 	}
 	s.drainCtx, s.drainCancel = context.WithCancelCause(context.Background())
 	var tracerOpts []obs.Option
@@ -416,6 +453,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job-get", s.handleJobGet))
 	s.mux.HandleFunc("GET /v1/snapshot", s.instrument("snapshot-get", s.handleSnapshotGet))
 	s.mux.HandleFunc("PUT /v1/snapshot", s.instrument("snapshot-put", s.handleSnapshotPut))
+	s.mux.HandleFunc("POST /v1/watch", s.instrument("watch", s.handleWatchPost))
+	s.mux.HandleFunc("GET /v1/watch", s.instrument("watch-poll", s.handleWatchGet))
 	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
 	s.mux.HandleFunc("GET /v1/drift", s.instrument("drift", s.handleDrift))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -500,6 +539,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// the end of the drain — a clean shutdown loses no mined verdict.
 	s.stopMiner()
 	s.stopTelemetry()
+	// Wake every parked watch long-poller with a 503 now: they hold no
+	// admitted work, and httpSrv.Shutdown below waits for in-flight
+	// handlers — without this, each poller would stall the drain for up
+	// to a full WatchPollTimeout.
+	s.watchStopOnce.Do(func() { close(s.watchStop) })
 	s.pool.drain()
 	var err error
 	if s.httpSrv != nil {

@@ -30,9 +30,6 @@ const (
 	NumLatBuckets = numLatBounds + 1
 )
 
-// latRatio is the bucket-to-bucket growth factor.
-var latRatio = math.Pow(10, 1.0/bucketsPerDecade)
-
 // latBounds[i] is the inclusive upper bound of bucket i in nanoseconds.
 // Decade anchors are computed in integer arithmetic so bucket
 // assignment agrees exactly with pipeline.BucketIndex at the bounds the
@@ -136,11 +133,15 @@ func Quantile(counts *[NumLatBuckets]uint64, q float64) time.Duration {
 			return time.Duration(latBounds[numLatBounds-1])
 		}
 		upper := float64(latBounds[i])
-		lower := upper / latRatio
-		if i > 0 {
-			lower = float64(latBounds[i-1])
-		}
 		frac := (rank - prev) / float64(c)
+		if i == 0 {
+			// The first bucket spans (0, 1µs] — there is no previous
+			// bound to anchor a geometric interpolation, so interpolate
+			// linearly from 0 instead of fabricating a ~866ns lower
+			// bound that would overstate sub-microsecond quantiles.
+			return time.Duration(upper * frac)
+		}
+		lower := float64(latBounds[i-1])
 		return time.Duration(lower * math.Pow(upper/lower, frac))
 	}
 	return time.Duration(latBounds[numLatBounds-1])

@@ -112,6 +112,37 @@ func TestQuantileEdges(t *testing.T) {
 	}
 }
 
+// TestQuantileFirstBucket pins the bucket-0 interpolation: the first
+// bucket spans (0, 1µs], so with all mass there quantiles must
+// interpolate linearly from 0 — the old geometric interpolation
+// fabricated a lower bound of 1µs/10^(1/16) ≈ 866ns and could never
+// report anything below it, overstating every sub-microsecond quantile.
+func TestQuantileFirstBucket(t *testing.T) {
+	var counts [telemetry.NumLatBuckets]uint64
+	counts[0] = 100
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.10, 100 * time.Nanosecond},
+		{0.50, 500 * time.Nanosecond},
+		{0.99, 990 * time.Nanosecond},
+		{1.00, time.Microsecond},
+	} {
+		got := telemetry.Quantile(&counts, tc.q)
+		if got != tc.want {
+			t.Errorf("q%.2f = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Single observation: the q is the bucket's full span, still capped
+	// by the upper bound.
+	var single [telemetry.NumLatBuckets]uint64
+	single[0] = 1
+	if got := telemetry.Quantile(&single, 0.5); got <= 0 || got > time.Microsecond {
+		t.Errorf("single-sample bucket-0 quantile %v outside (0, 1µs]", got)
+	}
+}
+
 // fakeDaemon simulates cumulative process state for the engine to
 // scrape.
 type fakeDaemon struct {

@@ -145,7 +145,15 @@ func LoadReader(name string, r io.Reader) (*Module, error) {
 // parse and modeling of the whole source runs inside a "load.module"
 // span (child of ctx's active span) annotated with the source name and
 // class count. With no tracer in ctx it is identical to LoadReader.
-func LoadReaderContext(ctx context.Context, name string, r io.Reader) (_ *Module, err error) {
+func LoadReaderContext(ctx context.Context, name string, r io.Reader) (*Module, error) {
+	return loadReaderCache(ctx, name, r, pipeline.New())
+}
+
+// loadReaderCache is the load path with an explicit pipeline cache:
+// every fresh load gets its own empty cache, while Session passes one
+// long-lived cache across module generations so artifacts of unchanged
+// methods and classes survive an edit.
+func loadReaderCache(ctx context.Context, name string, r io.Reader, cache *pipeline.Cache) (_ *Module, err error) {
 	_, span := obs.Start(ctx, "load.module", obs.String("source", name))
 	defer func() {
 		if err != nil {
@@ -161,7 +169,7 @@ func LoadReaderContext(ctx context.Context, name string, r io.Reader) (_ *Module
 	if err != nil {
 		return nil, loadErr(name, err)
 	}
-	m := &Module{registry: check.Registry{}, cache: pipeline.New()}
+	m := &Module{registry: check.Registry{}, cache: cache}
 	for _, cls := range ast.Classes {
 		mc, err := model.FromAST(cls)
 		if err != nil {
@@ -404,11 +412,12 @@ func (c *Class) ProtocolRegex() (string, error) {
 }
 
 // specDFA is the cached protocol automaton, shared read-only with the
-// checker (same StageSpec key). The result must not be mutated; public
-// boundaries clone.
+// checker (same StageSpec key: the protocol fingerprint, so body-only
+// edits reuse it). The result must not be mutated; public boundaries
+// clone.
 func (c *Class) specDFA(prefix string) (*DFA, error) {
 	return pipeline.Memo(c.module.cache, pipeline.StageSpec,
-		pipeline.SpecKey(c.model.Fingerprint(), prefix),
+		pipeline.SpecKey(c.model.ProtocolFingerprint(), prefix),
 		func() (*DFA, error) { return c.model.SpecDFA(prefix) })
 }
 
